@@ -1,0 +1,26 @@
+.PHONY: all build test bench examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --figure 1 --graphs 10
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/pipeline_stencil.exe
+	dune exec examples/fault_campaign.exe
+	dune exec examples/contention_study.exe
+	dune exec examples/sparse_topology.exe
+	dune exec examples/workflow_import.exe
+
+clean:
+	dune clean

@@ -1,0 +1,711 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6), plus the structural tables (message bounds,
+   Proposition 5.1) and bechamel micro-benchmarks of the schedulers
+   themselves (Theorem 5.1's complexity in practice).
+
+   Usage (via dune):
+     dune exec bench/main.exe                      # everything, paper sizes
+     dune exec bench/main.exe -- --figure 1 --graphs 10
+     dune exec bench/main.exe -- --table outforest
+     dune exec bench/main.exe -- --bechamel *)
+
+let run_figures figures graphs seed domains =
+  List.iter
+    (fun n ->
+      let config = Config.figure n in
+      let config =
+        match graphs with
+        | Some g -> Config.with_graphs_per_point config g
+        | None -> config
+      in
+      let result =
+        Campaign.run ~seed ?domains
+          ~progress:(fun msg -> Printf.eprintf "  %s\n%!" msg)
+          config
+      in
+      print_string (Report.render result);
+      print_newline ())
+    figures
+
+(* -- Table: Proposition 5.1 — CAFT sends at most e(eps+1) messages on
+   fork / out-forest graphs -------------------------------------------- *)
+
+let outforest_table seed =
+  print_endline "=== Table P5.1: message bound e(eps+1) on out-forests ===";
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [ "graph"; "e"; "eps"; "m"; "CAFT msgs"; "e(eps+1)"; "bound holds" ]
+  in
+  let rng = Rng.create seed in
+  let cases =
+    [
+      ("fork-15", Families.fork 15);
+      ("fork-40", Families.fork 40);
+      ("out-tree-2-4", Families.out_tree ~arity:2 ~depth:4 ());
+      ("out-tree-3-3", Families.out_tree ~arity:3 ~depth:3 ());
+      ("chain-25", Families.chain 25);
+    ]
+  in
+  List.iter
+    (fun (name, dag) ->
+      List.iter
+        (fun (m, epsilon) ->
+          let params = Platform_gen.default ~m () in
+          let costs =
+            Platform_gen.instance rng ~granularity:1.0 params dag
+          in
+          let sched = Caft.run ~epsilon costs in
+          let msgs = Schedule.message_count sched in
+          let bound = Dag.edge_count dag * (epsilon + 1) in
+          Text_table.add_row t
+            [
+              name;
+              string_of_int (Dag.edge_count dag);
+              string_of_int epsilon;
+              string_of_int m;
+              string_of_int msgs;
+              string_of_int bound;
+              (if msgs <= bound then "yes" else "NO");
+            ])
+        [ (10, 1); (10, 3); (20, 5) ])
+    cases;
+  Text_table.print t;
+  print_newline ()
+
+(* -- Table: message counts vs the e(eps+1)^2 blow-up on random graphs - *)
+
+let messages_table graphs seed =
+  print_endline
+    "=== Table M: replication messages on random graphs (mean) ===";
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [ "m"; "eps"; "CAFT"; "FTSA"; "FTBAR"; "e(eps+1)"; "e(eps+1)^2" ]
+  in
+  List.iter
+    (fun (m, epsilon) ->
+      let rng = Rng.create seed in
+      let acc = Array.make 5 0. in
+      let n = Option.value graphs ~default:20 in
+      for _ = 1 to n do
+        let grng = Rng.split rng in
+        let dag = Random_dag.generate_default grng in
+        let params = Platform_gen.default ~m () in
+        let costs = Platform_gen.instance grng ~granularity:1.0 params dag in
+        let seed = Rng.int grng 1_000_000 in
+        let e = float_of_int (Dag.edge_count dag) in
+        let eps1 = float_of_int (epsilon + 1) in
+        acc.(0) <-
+          acc.(0)
+          +. float_of_int (Schedule.message_count (Caft.run ~seed ~epsilon costs));
+        acc.(1) <-
+          acc.(1)
+          +. float_of_int (Schedule.message_count (Ftsa.run ~seed ~epsilon costs));
+        acc.(2) <-
+          acc.(2)
+          +. float_of_int
+               (Schedule.message_count (Ftbar.run ~seed ~epsilon costs));
+        acc.(3) <- acc.(3) +. (e *. eps1);
+        acc.(4) <- acc.(4) +. (e *. eps1 *. eps1)
+      done;
+      let mean i = acc.(i) /. float_of_int n in
+      Text_table.add_float_row t (Printf.sprintf "%d" m)
+        [ float_of_int epsilon; mean 0; mean 1; mean 2; mean 3; mean 4 ])
+    [ (10, 1); (10, 3); (20, 5) ];
+  Text_table.print t;
+  print_newline ()
+
+(* -- Table: batched CAFT (Section 7 further work) ---------------------- *)
+
+let batch_table graphs seed =
+  print_endline
+    "=== Table B: windowed task selection (Section 7 'further work') ===";
+  let windows = [ 1; 2; 5; 10; 20 ] in
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      ("eps"
+      :: List.concat_map
+           (fun w -> [ Printf.sprintf "w=%d lat" w; Printf.sprintf "w=%d msg" w ])
+           windows)
+  in
+  List.iter
+    (fun epsilon ->
+      let n = Option.value graphs ~default:20 in
+      let lat = Array.make (List.length windows) 0. in
+      let msg = Array.make (List.length windows) 0. in
+      let rng = Rng.create seed in
+      for _ = 1 to n do
+        let grng = Rng.split rng in
+        let dag = Random_dag.generate_default grng in
+        let params = Platform_gen.default ~m:10 () in
+        let costs = Platform_gen.instance grng ~granularity:0.5 params dag in
+        let norm = Campaign.normalization costs in
+        let seed = Rng.int grng 1_000_000 in
+        List.iteri
+          (fun i window ->
+            let sched = Caft_batch.run ~seed ~window ~epsilon costs in
+            lat.(i) <- lat.(i) +. (Schedule.latency_zero_crash sched /. norm);
+            msg.(i) <- msg.(i) +. float_of_int (Schedule.message_count sched))
+          windows
+      done;
+      Text_table.add_row t
+        (string_of_int epsilon
+        :: List.concat
+             (List.mapi
+                (fun i _ ->
+                  [
+                    Text_table.float_cell (lat.(i) /. float_of_int n);
+                    Text_table.float_cell (msg.(i) /. float_of_int n);
+                  ])
+                windows)))
+    [ 1; 3 ];
+  Text_table.print t;
+  print_endline "(w=1 is exactly CAFT; normalized latency, fine grain g=0.5)";
+  print_newline ()
+
+(* -- Table: insertion-based execution booking (ablation) --------------- *)
+
+let insertion_table graphs seed =
+  print_endline "=== Table I: append vs insertion execution booking ===";
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [ "algo"; "eps"; "append"; "insertion"; "gain %" ]
+  in
+  List.iter
+    (fun (name, runner) ->
+      List.iter
+        (fun epsilon ->
+          let n = Option.value graphs ~default:20 in
+          let app = ref 0. and ins = ref 0. in
+          let rng = Rng.create seed in
+          for _ = 1 to n do
+            let grng = Rng.split rng in
+            let dag = Random_dag.generate_default grng in
+            let params = Platform_gen.default ~m:10 () in
+            let costs = Platform_gen.instance grng ~granularity:1.0 params dag in
+            let norm = Campaign.normalization costs in
+            let seed = Rng.int grng 1_000_000 in
+            app :=
+              !app
+              +. Schedule.latency_zero_crash (runner ~insertion:false ~seed ~epsilon costs)
+                 /. norm;
+            ins :=
+              !ins
+              +. Schedule.latency_zero_crash (runner ~insertion:true ~seed ~epsilon costs)
+                 /. norm
+          done;
+          Text_table.add_row t
+            [
+              name;
+              string_of_int epsilon;
+              Text_table.float_cell (!app /. float_of_int n);
+              Text_table.float_cell (!ins /. float_of_int n);
+              Text_table.float_cell (100. *. (!app -. !ins) /. !app);
+            ])
+        [ 1; 3 ])
+    [
+      ("CAFT", fun ~insertion ~seed ~epsilon costs -> Caft.run ~insertion ~seed ~epsilon costs);
+      ("FTSA", fun ~insertion ~seed ~epsilon costs -> Ftsa.run ~insertion ~seed ~epsilon costs);
+    ];
+  Text_table.print t;
+  print_newline ()
+
+(* -- Table: sparse interconnects (Section 7 extension) ----------------- *)
+
+let topology_table graphs seed =
+  print_endline
+    "=== Table T: CAFT on sparse interconnects (Section 7 extension) ===";
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [ "topology"; "m"; "links"; "diam"; "latency"; "messages"; "resists" ]
+  in
+  let topologies =
+    [
+      ("clique", Topology.clique 8);
+      ("hypercube", Topology.hypercube 3);
+      ("torus-2x4", Topology.torus2d ~rows:2 ~cols:4 ());
+      ("mesh-2x4", Topology.mesh2d ~rows:2 ~cols:4 ());
+      ("ring", Topology.ring 8);
+      ("star", Topology.star 8);
+    ]
+  in
+  List.iter
+    (fun (name, topo) ->
+      let n = Option.value graphs ~default:15 in
+      let lat = ref 0. and msg = ref 0. and resists = ref true in
+      let rng = Rng.create seed in
+      for _ = 1 to n do
+        let grng = Rng.split rng in
+        let dag = Random_dag.generate_default grng in
+        let platform = Topology.platform topo in
+        let fabric = Topology.fabric topo in
+        (* execution costs drawn as usual, then rescaled to g = 1 *)
+        let m = Platform.proc_count platform in
+        let matrix =
+          Array.init (Dag.task_count dag) (fun _ ->
+              let base = Rng.float_in grng 50. 150. in
+              Array.init m (fun _ -> base *. Rng.float_in grng 0.5 1.5))
+        in
+        let costs =
+          Granularity.rescale_to (Costs.of_matrix dag platform matrix) 1.0
+        in
+        let norm = Campaign.normalization costs in
+        let seed = Rng.int grng 1_000_000 in
+        let epsilon = 1 in
+        let sched = Caft.run ~fabric ~seed ~epsilon costs in
+        lat := !lat +. (Schedule.latency_zero_crash sched /. norm);
+        msg := !msg +. float_of_int (Schedule.message_count sched);
+        (* single-crash tolerance, exhaustive, on the sparse fabric *)
+        for p = 0 to m - 1 do
+          let out = Replay.crash_from_start ~fabric sched ~crashed:[ p ] in
+          if not out.Replay.completed then resists := false
+        done
+      done;
+      Text_table.add_row t
+        [
+          name;
+          string_of_int (Topology.proc_count topo);
+          string_of_int (Topology.link_count topo);
+          string_of_int (Topology.diameter_hops topo);
+          Text_table.float_cell (!lat /. float_of_int n);
+          Text_table.float_cell (!msg /. float_of_int n);
+          (if !resists then "yes" else "NO");
+        ])
+    topologies;
+  Text_table.print t;
+  print_endline
+    "(same workloads; end-to-end delays grow with the diameter and routes \
+     share physical links)";
+  print_newline ()
+
+(* -- Table: isolating the one-to-one mechanism (ablation) -------------- *)
+
+let mechanism_table graphs seed =
+  print_endline
+    "=== Table O: the one-to-one mapping's contribution (ablation) ===";
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [
+        "eps";
+        "CAFT lat";
+        "CAFT msg";
+        "CAFT-full lat";
+        "CAFT-full msg";
+        "FTSA lat";
+        "FTSA msg";
+      ]
+  in
+  List.iter
+    (fun epsilon ->
+      let n = Option.value graphs ~default:20 in
+      let acc = Array.make 6 0. in
+      let rng = Rng.create seed in
+      for _ = 1 to n do
+        let grng = Rng.split rng in
+        let dag = Random_dag.generate_default grng in
+        let params = Platform_gen.default ~m:10 () in
+        let costs = Platform_gen.instance grng ~granularity:0.5 params dag in
+        let norm = Campaign.normalization costs in
+        let seed = Rng.int grng 1_000_000 in
+        let add i sched =
+          acc.(i) <- acc.(i) +. (Schedule.latency_zero_crash sched /. norm);
+          acc.(i + 1) <- acc.(i + 1) +. float_of_int (Schedule.message_count sched)
+        in
+        add 0 (Caft.run ~seed ~epsilon costs);
+        add 2 (Caft.run ~one_to_one:false ~seed ~epsilon costs);
+        add 4 (Ftsa.run ~seed ~epsilon costs)
+      done;
+      Text_table.add_row t
+        (string_of_int epsilon
+        :: List.map
+             (fun i -> Text_table.float_cell (acc.(i) /. float_of_int n))
+             [ 0; 1; 2; 3; 4; 5 ]))
+    [ 1; 3 ];
+  Text_table.print t;
+  print_endline
+    "(CAFT-full = CAFT with one-to-one disabled: every input fully \
+     replicated; fine grain g=0.5)";
+  print_newline ()
+
+(* -- Table: latency vs effective crash count (Section 6 discussion) ---- *)
+
+let crash_sweep_table graphs seed =
+  print_endline
+    "=== Table X: real latency vs number of crashes (eps=3, m=10, g=1) ===";
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [ "crashes"; "CAFT"; "FTSA"; "FTBAR" ]
+  in
+  let n = Option.value graphs ~default:20 in
+  let epsilon = 3 in
+  let results = Array.make_matrix 4 3 0. in
+  let rng = Rng.create seed in
+  for _ = 1 to n do
+    let grng = Rng.split rng in
+    let dag = Random_dag.generate_default grng in
+    let params = Platform_gen.default ~m:10 () in
+    let costs = Platform_gen.instance grng ~granularity:1.0 params dag in
+    let norm = Campaign.normalization costs in
+    let seed = Rng.int grng 1_000_000 in
+    let schedules =
+      [|
+        Caft.run ~seed ~epsilon costs;
+        Ftsa.run ~seed ~epsilon costs;
+        Ftbar.run ~seed ~epsilon costs;
+      |]
+    in
+    for crashes = 0 to 3 do
+      let crashed = Scenario.uniform_procs grng ~m:10 ~count:crashes in
+      Array.iteri
+        (fun i sched ->
+          let out = Replay.crash_from_start sched ~crashed in
+          results.(crashes).(i) <-
+            results.(crashes).(i) +. (out.Replay.latency /. norm))
+        schedules
+    done
+  done;
+  for crashes = 0 to 3 do
+    Text_table.add_row t
+      (string_of_int crashes
+      :: List.map
+           (fun i -> Text_table.float_cell (results.(crashes).(i) /. float_of_int n))
+           [ 0; 1; 2 ])
+  done;
+  Text_table.print t;
+  print_endline
+    "(the paper: the latency increase with the crash count is 'already \
+     absorbed by the replication')";
+  print_newline ()
+
+(* -- Table: link-failure masking (extension) ---------------------------- *)
+
+let links_table graphs seed =
+  print_endline
+    "=== Table L: single link failures masked by replication (extension) ===";
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [ "eps"; "CAFT %"; "FTSA %"; "FTBAR %"; "HEFT %" ]
+  in
+  let m = 8 in
+  List.iter
+    (fun epsilon ->
+      let n = Option.value graphs ~default:10 in
+      let masked = Array.make 4 0 and total = ref 0 in
+      let rng = Rng.create seed in
+      for _ = 1 to n do
+        let grng = Rng.split rng in
+        let dag = Random_dag.generate_default grng in
+        let params = Platform_gen.default ~m () in
+        let costs = Platform_gen.instance grng ~granularity:1.0 params dag in
+        let seed = Rng.int grng 1_000_000 in
+        let schedules =
+          [|
+            Caft.run ~seed ~epsilon costs;
+            Ftsa.run ~seed ~epsilon costs;
+            Ftbar.run ~seed ~epsilon costs;
+            Heft.run ~seed costs;
+          |]
+        in
+        for src = 0 to m - 1 do
+          for dst = 0 to m - 1 do
+            if src <> dst then begin
+              incr total;
+              Array.iteri
+                (fun i sched ->
+                  if
+                    (Replay.crash_links sched ~links:[ (src, dst) ])
+                      .Replay.completed
+                  then masked.(i) <- masked.(i) + 1)
+                schedules
+            end
+          done
+        done
+      done;
+      Text_table.add_row t
+        (string_of_int epsilon
+        :: List.map
+             (fun i ->
+               Text_table.float_cell
+                 (100. *. float_of_int masked.(i) /. float_of_int !total))
+             [ 0; 1; 2; 3 ]))
+    [ 1; 3 ];
+  Text_table.print t;
+  print_endline
+    "(fraction of single directed-link failures after which the application \
+     still completes.\n Replication masks them all — for CAFT this follows \
+     from support disjointness,\n since sibling one-to-one chains use \
+     processor-disjoint routes — while the\n unreplicated HEFT schedule dies \
+     on every link it uses)";
+  print_newline ()
+
+(* -- Table: the contention spectrum (macro .. multiport-k .. one-port) - *)
+
+let models_table graphs seed =
+  print_endline
+    "=== Table C: the contention spectrum (endpoint port capacity) ===";
+  let models =
+    [
+      ("macro", Netstate.Macro_dataflow);
+      ("multiport-4", Netstate.Multiport 4);
+      ("multiport-2", Netstate.Multiport 2);
+      ("one-port", Netstate.One_port);
+    ]
+  in
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      ("algo" :: "eps" :: List.map fst models)
+  in
+  List.iter
+    (fun (name, runner) ->
+      List.iter
+        (fun epsilon ->
+          let n = Option.value graphs ~default:15 in
+          let acc = Array.make (List.length models) 0. in
+          let rng = Rng.create seed in
+          for _ = 1 to n do
+            let grng = Rng.split rng in
+            let dag = Random_dag.generate_default grng in
+            let params = Platform_gen.default ~m:10 () in
+            let costs = Platform_gen.instance grng ~granularity:0.5 params dag in
+            let norm = Campaign.normalization costs in
+            let seed = Rng.int grng 1_000_000 in
+            List.iteri
+              (fun i (_, model) ->
+                acc.(i) <-
+                  acc.(i)
+                  +. Schedule.latency_zero_crash (runner ~model ~seed ~epsilon costs)
+                     /. norm)
+              models
+          done;
+          Text_table.add_row t
+            (name :: string_of_int epsilon
+            :: List.mapi
+                 (fun i _ -> Text_table.float_cell (acc.(i) /. float_of_int n))
+                 models))
+        [ 1; 3 ])
+    [
+      ("CAFT", fun ~model ~seed ~epsilon costs -> Caft.run ~model ~seed ~epsilon costs);
+      ("FTSA", fun ~model ~seed ~epsilon costs -> Ftsa.run ~model ~seed ~epsilon costs);
+    ];
+  Text_table.print t;
+  print_endline
+    "(normalized latency at fine grain g=0.5: contention grows as endpoint \
+     capacity shrinks,\n and the replication-heavy FTSA suffers most at one \
+     port - the paper's core motivation)";
+  print_newline ()
+
+(* -- Table: passive (primary/backup) vs active replication -------------- *)
+
+let passive_table graphs seed =
+  print_endline
+    "=== Table P: passive (primary/backup) vs active replication (eps=1) ===";
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [ "metric"; "PB (passive)"; "CAFT macro"; "CAFT one-port" ]
+  in
+  let n = Option.value graphs ~default:20 in
+  let acc = Array.make 9 0. in
+  let rng = Rng.create seed in
+  let m = 10 in
+  for _ = 1 to n do
+    let grng = Rng.split rng in
+    let dag = Random_dag.generate_default grng in
+    let params = Platform_gen.default ~m () in
+    let costs = Platform_gen.instance grng ~granularity:1.0 params dag in
+    let norm = Campaign.normalization costs in
+    let seed = Rng.int grng 1_000_000 in
+    let pb = Primary_backup.run ~seed costs in
+    let caft_macro =
+      Caft.run ~model:Netstate.Macro_dataflow ~seed ~epsilon:1 costs
+    in
+    let caft_oneport = Caft.run ~seed ~epsilon:1 costs in
+    (* fault-free latencies *)
+    acc.(0) <- acc.(0) +. (Primary_backup.fault_free_latency pb /. norm);
+    acc.(1) <- acc.(1) +. (Schedule.latency_zero_crash caft_macro /. norm);
+    acc.(2) <- acc.(2) +. (Schedule.latency_zero_crash caft_oneport /. norm);
+    (* mean latency under each single crash *)
+    let cm_pb = ref 0. and cm_m = ref 0. and cm_o = ref 0. in
+    for p = 0 to m - 1 do
+      (match Primary_backup.latency_with_crash pb ~crashed:p with
+      | Some l -> cm_pb := !cm_pb +. (l /. norm)
+      | None -> failwith "PB unrecoverable");
+      let lm =
+        (Replay.crash_from_start caft_macro ~crashed:[ p ]).Replay.latency
+      in
+      let lo =
+        (Replay.crash_from_start caft_oneport ~crashed:[ p ]).Replay.latency
+      in
+      cm_m := !cm_m +. (lm /. norm);
+      cm_o := !cm_o +. (lo /. norm)
+    done;
+    acc.(3) <- acc.(3) +. (!cm_pb /. float_of_int m);
+    acc.(4) <- acc.(4) +. (!cm_m /. float_of_int m);
+    acc.(5) <- acc.(5) +. (!cm_o /. float_of_int m);
+    (* compute commitment: PB reserves, active executes *)
+    acc.(6) <- acc.(6) +. (Primary_backup.reserved_time pb /. norm);
+    acc.(7) <-
+      acc.(7) +. ((Metrics.analyze caft_macro).Metrics.total_exec /. norm);
+    acc.(8) <-
+      acc.(8) +. ((Metrics.analyze caft_oneport).Metrics.total_exec /. norm)
+  done;
+  let mean i = Text_table.float_cell (acc.(i) /. float_of_int n) in
+  Text_table.add_row t [ "fault-free latency"; mean 0; mean 1; mean 2 ];
+  Text_table.add_row t [ "mean 1-crash latency"; mean 3; mean 4; mean 5 ];
+  Text_table.add_row t [ "reserved/executed time"; mean 6; mean 7; mean 8 ];
+  Text_table.print t;
+  print_endline
+    "(passive replication - Section 3(i) of the paper - costs nothing when \
+     nothing fails but\n pays a recovery delay and assumes a single, \
+     detected failure; active replication absorbs\n crashes silently.  PB \
+     reservations are released on success; active executes everything.)";
+  print_newline ()
+
+(* -- bechamel micro-benchmarks: scheduler running time ---------------- *)
+
+let bechamel_benches () =
+  let open Bechamel in
+  let instance_for m =
+    let rng = Rng.create 99 in
+    let dag = Random_dag.generate_default rng in
+    let params = Platform_gen.default ~m () in
+    Platform_gen.instance rng ~granularity:1.0 params dag
+  in
+  let costs10 = instance_for 10 in
+  let costs20 = instance_for 20 in
+  let test name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"schedulers"
+      [
+        test "caft/m=10/eps=1" (fun () -> Caft.run ~epsilon:1 costs10);
+        test "caft/m=10/eps=3" (fun () -> Caft.run ~epsilon:3 costs10);
+        test "caft/m=20/eps=5" (fun () -> Caft.run ~epsilon:5 costs20);
+        test "ftsa/m=10/eps=1" (fun () -> Ftsa.run ~epsilon:1 costs10);
+        test "ftsa/m=10/eps=3" (fun () -> Ftsa.run ~epsilon:3 costs10);
+        test "ftsa/m=20/eps=5" (fun () -> Ftsa.run ~epsilon:5 costs20);
+        test "ftbar/m=10/eps=1" (fun () -> Ftbar.run ~epsilon:1 costs10);
+        test "ftbar/m=10/eps=3" (fun () -> Ftbar.run ~epsilon:3 costs10);
+        test "ftbar/m=20/eps=5" (fun () -> Ftbar.run ~epsilon:5 costs20);
+        test "heft/m=10" (fun () -> Heft.run costs10);
+        test "replay/m=10/eps=3"
+          (let sched = Caft.run ~epsilon:3 costs10 in
+           fun () -> Replay.crash_from_start sched ~crashed:[ 0; 1; 2 ]);
+      ]
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances tests
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+    Analyze.merge ols Toolkit.Instance.[ monotonic_clock ] [ results ]
+  in
+  print_endline "=== Bechamel: scheduler running time (Theorem 5.1) ===";
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun _clock tbl ->
+      let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl [] in
+      let rows = List.sort compare rows in
+      let t =
+        Text_table.create ~aligns:[ Text_table.Left ] [ "bench"; "time/run" ]
+      in
+      List.iter
+        (fun (name, v) ->
+          let ns =
+            match Bechamel.Analyze.OLS.estimates v with
+            | Some [ e ] -> e
+            | _ -> nan
+          in
+          Text_table.add_row t
+            [ name; Printf.sprintf "%.3f ms" (ns /. 1e6) ])
+        rows;
+      Text_table.print t)
+    results;
+  print_newline ()
+
+(* -- command line ------------------------------------------------------ *)
+
+let () =
+  let figures = ref [] in
+  let graphs = ref None in
+  let domains = ref None in
+  let seed = ref 2008 in
+  let tables = ref [] in
+  let bechamel = ref false in
+  let all = ref true in
+  let speclist =
+    [
+      ( "--figure",
+        Arg.Int
+          (fun n ->
+            all := false;
+            figures := !figures @ [ n ]),
+        "N  regenerate figure N (1..6); repeatable" );
+      ( "--graphs",
+        Arg.Int (fun n -> graphs := Some n),
+        "N  random graphs per point (default: the paper's 60)" );
+      ("--seed", Arg.Set_int seed, "N  campaign seed (default 2008)");
+      ( "--domains",
+        Arg.Int (fun n -> domains := Some n),
+        "N  parallelize figure campaigns over N domains" );
+      ( "--table",
+        Arg.String
+          (fun s ->
+            all := false;
+            tables := !tables @ [ s ]),
+        "NAME  regenerate a table: messages | outforest | batch | insertion | topology | mechanism | crashes | links | passive | models" );
+      ( "--bechamel",
+        Arg.Unit
+          (fun () ->
+            all := false;
+            bechamel := true),
+        "  run the bechamel micro-benchmarks only" );
+    ]
+  in
+  Arg.parse speclist
+    (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
+    "bench/main.exe: regenerate the paper's figures and tables";
+  if !all then begin
+    run_figures [ 1; 2; 3; 4; 5; 6 ] !graphs !seed !domains;
+    messages_table !graphs !seed;
+    outforest_table !seed;
+    batch_table !graphs !seed;
+    insertion_table !graphs !seed;
+    topology_table !graphs !seed;
+    mechanism_table !graphs !seed;
+    crash_sweep_table !graphs !seed;
+    links_table !graphs !seed;
+    passive_table !graphs !seed;
+    models_table !graphs !seed;
+    bechamel_benches ()
+  end
+  else begin
+    if !figures <> [] then run_figures !figures !graphs !seed !domains;
+    List.iter
+      (function
+        | "messages" -> messages_table !graphs !seed
+        | "outforest" -> outforest_table !seed
+        | "batch" -> batch_table !graphs !seed
+        | "insertion" -> insertion_table !graphs !seed
+        | "topology" -> topology_table !graphs !seed
+        | "mechanism" -> mechanism_table !graphs !seed
+        | "crashes" -> crash_sweep_table !graphs !seed
+        | "links" -> links_table !graphs !seed
+        | "passive" -> passive_table !graphs !seed
+        | "models" -> models_table !graphs !seed
+        | other -> Printf.eprintf "unknown table %s\n" other)
+      !tables;
+    if !bechamel then bechamel_benches ()
+  end

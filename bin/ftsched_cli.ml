@@ -1,0 +1,465 @@
+(* ftsched: command-line driver for the fault-tolerant scheduling library.
+
+   Subcommands:
+     schedule    build one schedule on a random instance and inspect it
+     crash       replay a schedule under a crash scenario
+     check       verify epsilon-fault tolerance by exhaustive/sampled replay
+     inspect     utilization/communication metrics, bounds, save/load
+     montecarlo  random fault-injection campaigns on one schedule
+     topology    inspect a sparse interconnect and its routing tables
+     campaign    regenerate one of the paper's figures *)
+
+open Cmdliner
+
+(* -- shared options ---------------------------------------------------- *)
+
+let seed_t =
+  let doc = "Random seed (drives the instance and tie-breaking)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let m_t =
+  let doc = "Number of processors." in
+  Arg.(value & opt int 10 & info [ "m"; "processors" ] ~docv:"M" ~doc)
+
+let tasks_t =
+  let doc = "Number of tasks of the random DAG." in
+  Arg.(value & opt int 40 & info [ "tasks" ] ~docv:"V" ~doc)
+
+let epsilon_t =
+  let doc = "Number of processor failures the schedule must tolerate." in
+  Arg.(value & opt int 1 & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc)
+
+let granularity_t =
+  let doc = "Target task-graph granularity g(G, P)." in
+  Arg.(value & opt float 1.0 & info [ "granularity"; "g" ] ~docv:"G" ~doc)
+
+let algo_t =
+  let doc = "Scheduling algorithm: caft, ftsa, ftbar or heft." in
+  Arg.(
+    value
+    & opt (enum [ ("caft", `Caft); ("ftsa", `Ftsa); ("ftbar", `Ftbar); ("heft", `Heft) ]) `Caft
+    & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+
+let model_t =
+  let doc = "Communication model: one-port, multiport-2, multiport-4 or macro." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("one-port", Netstate.One_port);
+             ("macro", Netstate.Macro_dataflow);
+             ("multiport-2", Netstate.Multiport 2);
+             ("multiport-4", Netstate.Multiport 4);
+           ])
+        Netstate.One_port
+    & info [ "model" ] ~docv:"MODEL" ~doc)
+
+let family_t =
+  let doc =
+    "Task-graph family: random, fork, join, chain, out-tree, fork-join, \
+     stencil, gauss, butterfly, cholesky."
+  in
+  Arg.(value & opt string "random" & info [ "family" ] ~docv:"FAMILY" ~doc)
+
+let import_t =
+  let doc =
+    "Import the task graph from a DOT file instead of generating one \
+     (numeric edge labels become data volumes)."
+  in
+  Arg.(value & opt (some string) None & info [ "import" ] ~docv:"FILE" ~doc)
+
+let make_dag rng ~family ~tasks =
+  match family with
+  | "random" ->
+      Random_dag.generate rng
+        { Random_dag.default with Random_dag.tasks_min = tasks; tasks_max = tasks }
+  | "fork" -> Families.fork (max 1 (tasks - 1))
+  | "join" -> Families.join (max 1 (tasks - 1))
+  | "chain" -> Families.chain (max 1 tasks)
+  | "fork-join" -> Families.fork_join (max 1 (tasks - 2))
+  | "out-tree" ->
+      (* choose the depth so a binary tree roughly reaches [tasks] nodes *)
+      let depth = max 1 (int_of_float (Float.log2 (float_of_int (max 2 tasks)))) in
+      Families.out_tree ~arity:2 ~depth ()
+  | "stencil" ->
+      let width = max 2 (int_of_float (sqrt (float_of_int (max 4 tasks)))) in
+      Families.stencil_1d ~width ~steps:(max 2 (tasks / width)) ()
+  | "gauss" ->
+      let n = max 3 (int_of_float (sqrt (2. *. float_of_int (max 4 tasks)))) in
+      Families.gaussian_elimination n
+  | "butterfly" ->
+      let k = max 1 (int_of_float (Float.log2 (float_of_int (max 2 tasks)) /. 2.)) in
+      Families.butterfly k
+  | "cholesky" ->
+      (* T tiles yield about T^3/6 tasks *)
+      let t = max 2 (int_of_float (Float.cbrt (6. *. float_of_int (max 4 tasks)))) in
+      Families.cholesky t
+  | other -> failwith (Printf.sprintf "unknown graph family %S" other)
+
+let make_instance ?import ~seed ~family ~tasks ~m ~granularity () =
+  let rng = Rng.create seed in
+  let dag =
+    match import with
+    | Some path -> Dot.parse_file ~default_volume:100. path
+    | None -> make_dag rng ~family ~tasks
+  in
+  let params = Platform_gen.default ~m () in
+  let costs = Platform_gen.instance rng ~granularity params dag in
+  (dag, costs)
+
+let run_algo algo ~model ~seed ~epsilon costs =
+  match algo with
+  | `Caft -> Caft.run ~model ~seed ~epsilon costs
+  | `Ftsa -> Ftsa.run ~model ~seed ~epsilon costs
+  | `Ftbar -> Ftbar.run ~model ~seed ~epsilon costs
+  | `Heft -> Heft.run ~model ~seed costs
+
+(* -- schedule ----------------------------------------------------------- *)
+
+let schedule_cmd =
+  let gantt_t =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
+  in
+  let comm_t =
+    Arg.(
+      value & flag
+      & info [ "show-comm" ] ~doc:"Add send/receive port rows to the Gantt chart.")
+  in
+  let dot_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Export the task graph in DOT format.")
+  in
+  let run seed m tasks epsilon granularity algo model family import gantt show_comm dot =
+    let dag, costs = make_instance ?import ~seed ~family ~tasks ~m ~granularity () in
+    let sched = run_algo algo ~model ~seed ~epsilon costs in
+    Format.printf "%a@." Schedule.pp_summary sched;
+    Format.printf "graph: %d tasks, %d edges, width %d, granularity %.2f@."
+      (Dag.task_count dag) (Dag.edge_count dag) (Dag.width dag)
+      (Granularity.compute costs);
+    (match Validate.run sched with
+    | [] -> Format.printf "validation: ok@."
+    | vs ->
+        Format.printf "validation: %d violations@." (List.length vs);
+        List.iter (fun v -> Format.printf "  %a@." Validate.pp_violation v) vs);
+    if gantt then Gantt.print ~show_comm sched;
+    Option.iter (fun path -> Dot.to_file path dag) dot
+  in
+  let term =
+    Term.(
+      const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
+      $ model_t $ family_t $ import_t $ gantt_t $ comm_t $ dot_t)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Build one fault-tolerant schedule and inspect it")
+    term
+
+(* -- crash -------------------------------------------------------------- *)
+
+let crash_cmd =
+  let crashed_t =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "crash" ] ~docv:"P1,P2" ~doc:"Processors that fail (from time 0).")
+  in
+  let random_t =
+    Arg.(
+      value & opt int 0
+      & info [ "random-crashes" ] ~docv:"K"
+          ~doc:"Crash K processors chosen uniformly instead of --crash.")
+  in
+  let run seed m tasks epsilon granularity algo model family crashed random_crashes =
+    let _, costs = make_instance ~seed ~family ~tasks ~m ~granularity () in
+    let sched = run_algo algo ~model ~seed ~epsilon costs in
+    let crashed =
+      if random_crashes > 0 then
+        Scenario.uniform_procs (Rng.create (seed + 17)) ~m ~count:random_crashes
+      else crashed
+    in
+    let out = Replay.crash_from_start sched ~crashed in
+    Format.printf "schedule %s: latency %.3f (0 crash), upper bound %.3f@."
+      (Schedule.algorithm sched)
+      (Schedule.latency_zero_crash sched)
+      (Schedule.latency_upper_bound sched);
+    Format.printf "crashed processors: {%s}@."
+      (String.concat "," (List.map string_of_int crashed));
+    if out.Replay.completed then
+      Format.printf "replay: completed, real latency %.3f@." out.Replay.latency
+    else
+      Format.printf "replay: FAILED, starved tasks {%s}@."
+        (String.concat "," (List.map string_of_int out.Replay.failed_tasks))
+  in
+  let term =
+    Term.(
+      const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
+      $ model_t $ family_t $ crashed_t $ random_t)
+  in
+  Cmd.v (Cmd.info "crash" ~doc:"Replay a schedule under processor failures") term
+
+(* -- check -------------------------------------------------------------- *)
+
+let check_cmd =
+  let run seed m tasks epsilon granularity algo model family =
+    let _, costs = make_instance ~seed ~family ~tasks ~m ~granularity () in
+    let sched = run_algo algo ~model ~seed ~epsilon costs in
+    let report = Fault_check.check ~epsilon sched in
+    Format.printf "%s, epsilon=%d: %s (%d scenarios%s)@."
+      (Schedule.algorithm sched) epsilon
+      (if report.Fault_check.resists then "resists" else "DOES NOT RESIST")
+      report.Fault_check.scenarios_checked
+      (if report.Fault_check.exhaustive then ", exhaustive" else ", sampled");
+    (match report.Fault_check.counterexample with
+    | None ->
+        Format.printf "worst completed-scenario latency: %.3f@."
+          report.Fault_check.worst_latency
+    | Some (crashed, failed) ->
+        Format.printf "counterexample: crash {%s} starves tasks {%s}@."
+          (String.concat "," (List.map string_of_int crashed))
+          (String.concat "," (List.map string_of_int failed)));
+    if not report.Fault_check.resists then exit 1
+  in
+  let term =
+    Term.(
+      const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
+      $ model_t $ family_t)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Verify fault tolerance by crash-set enumeration")
+    term
+
+(* -- inspect -------------------------------------------------------------- *)
+
+let inspect_cmd =
+  let save_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Save the schedule (text format).")
+  in
+  let load_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Inspect a previously saved schedule instead of building one.")
+  in
+  let explain_t =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Print the critical chain that determines the latency.")
+  in
+  let run seed m tasks epsilon granularity algo model family import save load explain =
+    let sched =
+      match load with
+      | Some path -> Schedule_io.of_file path
+      | None ->
+          let _, costs =
+            make_instance ?import ~seed ~family ~tasks ~m ~granularity ()
+          in
+          run_algo algo ~model ~seed ~epsilon costs
+    in
+    Format.printf "%a@.@." Schedule.pp_summary sched;
+    Format.printf "%a@." Metrics.pp (Metrics.analyze sched);
+    let costs = Schedule.costs sched in
+    Format.printf "lower bounds: critical path %.3f, work %.3f@."
+      (Bounds.critical_path costs) (Bounds.work costs);
+    (match Validate.run sched with
+    | [] -> Format.printf "validation: ok@."
+    | vs -> Format.printf "validation: %d violations!@." (List.length vs));
+    if explain then begin
+      Format.printf "@.critical chain (comm share %.0f%%):@."
+        (100. *. Explain.comm_share sched);
+      Format.printf "@[<v>%a@]@." Explain.pp (Explain.critical_chain sched)
+    end;
+    Option.iter (fun path -> Schedule_io.to_file path sched) save
+  in
+  let term =
+    Term.(
+      const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
+      $ model_t $ family_t $ import_t $ save_t $ load_t $ explain_t)
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Analyze a schedule: utilization, communication, bounds; save/load")
+    term
+
+(* -- montecarlo ------------------------------------------------------------ *)
+
+let montecarlo_cmd =
+  let runs_t =
+    Arg.(value & opt int 1000 & info [ "runs" ] ~docv:"N" ~doc:"Number of scenarios.")
+  in
+  let crashes_t =
+    Arg.(
+      value & opt int 1
+      & info [ "crashes" ] ~docv:"K" ~doc:"Processors crashed per scenario.")
+  in
+  let timed_t =
+    Arg.(
+      value & flag
+      & info [ "timed" ]
+          ~doc:
+            "Crash at uniform random instants within the schedule horizon \
+             instead of from time zero.")
+  in
+  let run seed m tasks epsilon granularity algo model family runs crashes timed =
+    let _, costs = make_instance ~seed ~family ~tasks ~m ~granularity () in
+    let sched = run_algo algo ~model ~seed ~epsilon costs in
+    let mode =
+      if timed then Monte_carlo.Timed (Schedule.makespan sched)
+      else Monte_carlo.From_start
+    in
+    Format.printf
+      "%s, epsilon=%d, %d scenarios of %d %s crashes (latency with 0 crash: \
+       %.3f)@."
+      (Schedule.algorithm sched) epsilon runs crashes
+      (if timed then "timed" else "from-start")
+      (Schedule.latency_zero_crash sched);
+    let report = Monte_carlo.run ~seed:(seed + 1) ~runs ~crashes ~mode sched in
+    Format.printf "%a@." Monte_carlo.pp report
+  in
+  let term =
+    Term.(
+      const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
+      $ model_t $ family_t $ runs_t $ crashes_t $ timed_t)
+  in
+  Cmd.v
+    (Cmd.info "montecarlo" ~doc:"Monte-Carlo fault injection on one schedule")
+    term
+
+(* -- topology ------------------------------------------------------------ *)
+
+let topology_cmd =
+  let shape_t =
+    Arg.(
+      value & opt string "ring"
+      & info [ "shape" ] ~docv:"SHAPE"
+          ~doc:"Interconnect: ring, star, mesh-RxC, torus-RxC, hypercube-D, clique.")
+  in
+  let routes_t =
+    Arg.(value & flag & info [ "routes" ] ~doc:"Print the full routing table.")
+  in
+  let parse_shape m shape =
+    let grid prefix f =
+      Scanf.sscanf shape (prefix ^^ "-%dx%d") (fun r c -> f ~rows:r ~cols:c ())
+    in
+    match shape with
+    | "ring" -> Topology.ring m
+    | "star" -> Topology.star m
+    | "clique" -> Topology.clique m
+    | _ when String.length shape > 5 && String.sub shape 0 5 = "mesh-" ->
+        grid "mesh" (fun ~rows ~cols () -> Topology.mesh2d ~rows ~cols ())
+    | _ when String.length shape > 6 && String.sub shape 0 6 = "torus-" ->
+        grid "torus" (fun ~rows ~cols () -> Topology.torus2d ~rows ~cols ())
+    | _ when String.length shape > 10 && String.sub shape 0 10 = "hypercube-" ->
+        Topology.hypercube (int_of_string (String.sub shape 10 (String.length shape - 10)))
+    | other -> failwith (Printf.sprintf "unknown topology shape %S" other)
+  in
+  let run m shape routes =
+    let topo = parse_shape m shape in
+    let mm = Topology.proc_count topo in
+    Format.printf "%s: %d processors, %d directed links, diameter %d hops@."
+      shape mm (Topology.link_count topo) (Topology.diameter_hops topo);
+    if routes then
+      for src = 0 to mm - 1 do
+        for dst = 0 to mm - 1 do
+          if src <> dst then
+            Format.printf "  %d -> %d: %s (delay %.2f)@." src dst
+              (String.concat " -> "
+                 (List.map string_of_int (Topology.route topo src dst)))
+              (Topology.delay_between topo src dst)
+        done
+      done
+  in
+  let term = Term.(const run $ m_t $ shape_t $ routes_t) in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Inspect a sparse interconnect and its routes")
+    term
+
+(* -- campaign ------------------------------------------------------------ *)
+
+let campaign_cmd =
+  let figure_t =
+    Arg.(
+      value & opt int 1
+      & info [ "figure"; "f" ] ~docv:"N" ~doc:"Paper figure to regenerate (1-6).")
+  in
+  let graphs_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "graphs" ] ~docv:"N" ~doc:"Random graphs per point (default 60).")
+  in
+  let csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the series as CSV.")
+  in
+  let domains_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Parallelize the campaign over N domains.")
+  in
+  let gnuplot_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "gnuplot" ] ~docv:"FILE"
+          ~doc:
+            "Also write a gnuplot script rendering the figure's three \
+             panels from the CSV (requires --csv).")
+  in
+  let run figure graphs csv gnuplot seed domains =
+    let config = Config.figure figure in
+    let config =
+      match graphs with
+      | Some g -> Config.with_graphs_per_point config g
+      | None -> config
+    in
+    let result =
+      Campaign.run ~seed ?domains
+        ~progress:(fun m -> Printf.eprintf "  %s\n%!" m)
+        config
+    in
+    print_string (Report.render result);
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Report.to_csv result)))
+      csv;
+    Option.iter
+      (fun path ->
+        match csv with
+        | None -> prerr_endline "--gnuplot requires --csv; script not written"
+        | Some data ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Report.to_gnuplot result ~data)))
+      gnuplot
+  in
+  let term =
+    Term.(
+      const run $ figure_t $ graphs_t $ csv_t $ gnuplot_t $ seed_t $ domains_t)
+  in
+  Cmd.v (Cmd.info "campaign" ~doc:"Regenerate one of the paper's figures") term
+
+let () =
+  let info =
+    Cmd.info "ftsched" ~version:"1.0.0"
+      ~doc:"Contention-aware fault-tolerant scheduling (CAFT) toolbox"
+  in
+  exit (Cmd.eval (Cmd.group info
+       [
+         schedule_cmd; crash_cmd; check_cmd; inspect_cmd; montecarlo_cmd;
+         topology_cmd; campaign_cmd;
+       ]))

@@ -1,0 +1,63 @@
+(* Monte-Carlo fault-injection campaign on a Gaussian-elimination task
+   graph: how does the *real* completion time behave when processors
+   actually die, at random instants, during the run?
+
+   This exercises the timed-crash replay (processors die mid-execution;
+   results delivered before the crash stay valid) beyond the paper's
+   crash-from-start model.
+
+   Run with:  dune exec examples/fault_campaign.exe *)
+
+let () =
+  let rng = Rng.create 7 in
+  let dag = Families.gaussian_elimination ~volume:100. 8 in
+  let m = 10 in
+  let params = Platform_gen.default ~m () in
+  let costs = Platform_gen.instance rng ~granularity:1.5 params dag in
+  let epsilon = 2 in
+  let sched = Caft.run ~epsilon costs in
+  Validate.check_exn sched;
+
+  Printf.printf
+    "Gaussian elimination (n=8): %d tasks, %d edges; CAFT with epsilon=%d\n"
+    (Dag.task_count dag) (Dag.edge_count dag) epsilon;
+  let l0 = Schedule.latency_zero_crash sched in
+  let horizon = Schedule.latency_upper_bound sched in
+  Printf.printf "latency with 0 crash: %.1f, static upper bound: %.1f\n\n" l0
+    horizon;
+
+  (* 1000 runs; in each, two processors die at uniform random instants. *)
+  let runs = 1000 in
+  let latencies = ref [] in
+  let failures = ref 0 in
+  for _ = 1 to runs do
+    let crashes = Scenario.timed rng ~m ~count:2 ~horizon in
+    let out = Replay.crash_timed sched ~crashes in
+    if out.Replay.completed then latencies := out.Replay.latency :: !latencies
+    else incr failures
+  done;
+  (match !latencies with
+  | [] -> Printf.printf "no run completed!\n"
+  | ls ->
+      let s = Stats.summarize ls in
+      Printf.printf "%d/%d runs completed despite 2 timed crashes\n"
+        (List.length ls) runs;
+      Printf.printf
+        "real latency: mean %.1f +- %.1f, median %.1f, min %.1f, max %.1f\n"
+        s.Stats.mean
+        (Stats.confidence_95 ls)
+        s.Stats.median s.Stats.min s.Stats.max;
+      Printf.printf "mean slowdown vs 0-crash latency: %.1f%%\n"
+        (100. *. ((s.Stats.mean /. l0) -. 1.)));
+  if !failures > 0 then
+    Printf.printf
+      "(%d runs lost tasks: timed crashes can exceed the from-start budget \
+       when both deaths hit the same replica chain mid-flight)\n"
+      !failures;
+
+  (* From-start crashes of size <= epsilon can never fail: *)
+  let report = Fault_check.check ~epsilon sched in
+  Printf.printf
+    "\nexhaustive from-start check: %s (%d scenarios, worst latency %.1f)\n"
+    (if report.Fault_check.resists then "resists" else "BROKEN")
+    report.Fault_check.scenarios_checked report.Fault_check.worst_latency

@@ -1,0 +1,86 @@
+let run ?(model = Netstate.One_port) ?fabric ?insertion ?(seed = 42) ~epsilon costs =
+  let ws = Workspace.create ~model ?fabric ?insertion ~epsilon costs in
+  let net = Workspace.net ws in
+  let dag = Workspace.dag ws in
+  let platform = Workspace.platform ws in
+  let rng = Rng.create seed in
+  let n = Dag.task_count dag in
+  let levels = Levels.compute costs in
+  let cp = Levels.critical_path levels in
+  (* Latest start time, bottom-up: how late the task may start without
+     stretching the (average-weighted) critical path. *)
+  let latest_start t = cp -. Levels.bottom_level levels t in
+  let tiebreak = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let unscheduled_preds = Array.init n (fun t -> Dag.in_degree dag t) in
+  let free = ref (Dag.entries dag) in
+  let remaining = ref n in
+  (* R^(n-1): current schedule length. *)
+  let schedule_length = ref 0. in
+  let book task p =
+    let exec = Costs.exec costs task p in
+    if Dag.in_degree dag task = 0 then Netstate.book_exec_only net ~proc:p ~exec
+    else
+      Netstate.book_replica net ~proc:p ~exec
+        ~inputs:(Workspace.sources_all ws task)
+  in
+  while !remaining > 0 do
+    (match !free with
+    | [] -> failwith "Ftbar.run: no free task but tasks remain"
+    | _ -> ());
+    (* Evaluate the pressure of every free task on every processor. *)
+    let snap = Netstate.snapshot net in
+    let evaluated =
+      List.map
+        (fun task ->
+          let sigmas =
+            List.map
+              (fun p ->
+                let booked = book task p in
+                Netstate.restore net snap;
+                let sigma =
+                  booked.Netstate.b_start +. latest_start task
+                  -. !schedule_length
+                in
+                (sigma, p))
+              (Platform.procs platform)
+          in
+          let ranked = List.sort compare sigmas in
+          let best = List.filteri (fun i _ -> i <= epsilon) ranked in
+          (* urgency: the largest pressure within the selected set *)
+          let urgency = List.fold_left (fun acc (s, _) -> Float.max acc s) neg_infinity best in
+          (task, urgency, List.map snd best))
+        !free
+    in
+    let chosen_task, _, chosen_procs =
+      List.fold_left
+        (fun (bt, bu, bp) (t, u, p) ->
+          if u > bu || (u = bu && tiebreak.(t) < tiebreak.(bt)) then (t, u, p)
+          else (bt, bu, bp))
+        (match evaluated with
+        | e :: _ -> e
+        | [] -> assert false)
+        evaluated
+    in
+    (* Commit the replicas on the evolving state, best processor first. *)
+    List.iter
+      (fun p ->
+        let booked = book chosen_task p in
+        let r = Workspace.place ws ~task:chosen_task ~proc:p booked in
+        schedule_length := Float.max !schedule_length r.Schedule.r_finish)
+      chosen_procs;
+    (* Update the free list. *)
+    free := List.filter (fun t -> t <> chosen_task) !free;
+    Array.iter
+      (fun (succ, _) ->
+        unscheduled_preds.(succ) <- unscheduled_preds.(succ) - 1;
+        if unscheduled_preds.(succ) = 0 then free := succ :: !free)
+      (Dag.succs dag chosen_task);
+    decr remaining
+  done;
+  let name =
+    match model with
+    | Netstate.One_port -> "FTBAR"
+    | Netstate.Macro_dataflow -> "FTBAR-macro"
+    | Netstate.Multiport k -> Printf.sprintf "FTBAR-mp%d" k
+  in
+  Workspace.to_schedule ~algorithm:name ws

@@ -1,0 +1,62 @@
+let run ?(model = Netstate.One_port) ?fabric ?insertion ?(seed = 42) ~epsilon costs =
+  let ws = Workspace.create ~model ?fabric ?insertion ~epsilon costs in
+  let net = Workspace.net ws in
+  let platform = Workspace.platform ws in
+  let m = Platform.proc_count platform in
+  let rng = Rng.create seed in
+  let prio = Prio.create ~rng costs in
+  let rec loop () =
+    match Prio.pop prio with
+    | None ->
+        if not (Prio.is_done prio) then
+          failwith "Ftsa.run: no free task but tasks remain (DAG inconsistency)"
+    | Some task ->
+        let exec p = Costs.exec costs task p in
+        let inputs =
+          if Dag.in_degree (Workspace.dag ws) task = 0 then []
+          else Workspace.sources_all ws task
+        in
+        (* Evaluation pass: simulate the mapping on every processor and
+           rank by finish time ("the first epsilon+1 processors that allow
+           the minimum finish time are kept"). *)
+        let snap = Netstate.snapshot net in
+        let candidates =
+          List.map
+            (fun p ->
+              let booked =
+                if inputs = [] then Netstate.book_exec_only net ~proc:p ~exec:(exec p)
+                else Netstate.book_replica net ~proc:p ~exec:(exec p) ~inputs
+              in
+              Netstate.restore net snap;
+              (booked.Netstate.b_finish, p))
+            (Platform.procs platform)
+        in
+        let ranked = List.sort compare candidates in
+        let chosen =
+          List.filteri (fun i _ -> i <= epsilon) ranked |> List.map snd
+        in
+        assert (List.length chosen = min (epsilon + 1) m);
+        (* Commit pass: book the replicas on the evolving state, in rank
+           order.  Within the one-port model the later replicas may land
+           slightly after their simulated finish because the earlier
+           replicas' messages now occupy the ports. *)
+        List.iter
+          (fun p ->
+            let booked =
+              if inputs = [] then Netstate.book_exec_only net ~proc:p ~exec:(exec p)
+              else Netstate.book_replica net ~proc:p ~exec:(exec p) ~inputs
+            in
+            ignore (Workspace.place ws ~task ~proc:p booked))
+          chosen;
+        Prio.mark_scheduled prio task
+          ~completion:(Workspace.completion_lower ws task);
+        loop ()
+  in
+  loop ();
+  let name =
+    match model with
+    | Netstate.One_port -> "FTSA"
+    | Netstate.Macro_dataflow -> "FTSA-macro"
+    | Netstate.Multiport k -> Printf.sprintf "FTSA-mp%d" k
+  in
+  Workspace.to_schedule ~algorithm:name ws

@@ -1,0 +1,242 @@
+type placement = { proc : Platform.proc; start : float; finish : float }
+
+type entry = { primary : placement; backup : placement }
+
+type t = { costs : Costs.t; entries : entry array }
+
+let costs t = t.costs
+
+let entry t task =
+  if task < 0 || task >= Array.length t.entries then
+    invalid_arg "Primary_backup.entry: bad task";
+  t.entries.(task)
+
+let comm costs src dst vol =
+  Platform.comm_time (Costs.platform costs) ~src ~dst ~volume:vol
+
+let run ?seed costs =
+  let platform = Costs.platform costs in
+  let m = Platform.proc_count platform in
+  if m < 2 then
+    invalid_arg "Primary_backup.run: need at least two processors";
+  let dag = Costs.dag costs in
+  let v = Dag.task_count dag in
+  (* Primaries: plain HEFT under macro-dataflow (the model of the passive
+     replication literature). *)
+  let heft = Heft.run ~model:Netstate.Macro_dataflow ?seed costs in
+  let primaries =
+    Array.init v (fun task ->
+        let r = (Schedule.replicas heft task).(0) in
+        {
+          proc = r.Schedule.r_proc;
+          start = r.Schedule.r_start;
+          finish = r.Schedule.r_finish;
+        })
+  in
+  (* Backup reservations per processor: (interval, primary proc).  Two
+     reservations may overlap iff their primary processors differ. *)
+  let reservations = Array.make m [] in
+  let backups = Array.make v None in
+  let backup_of task =
+    match backups.(task) with
+    | Some b -> b
+    | None -> invalid_arg "Primary_backup.run: predecessor backup missing"
+  in
+  (* earliest start >= [ready] on [p] avoiding the primaries of [p] and
+     the incompatible reservations *)
+  let earliest_slot p ~ready ~duration ~primary_proc =
+    let blocking =
+      List.filter_map
+        (fun (s, f, pproc) ->
+          if pproc = primary_proc then Some (s, f) else None)
+        reservations.(p)
+      @ List.filter_map
+          (fun (pl : placement) ->
+            if pl.proc = p then Some (pl.start, pl.finish) else None)
+          (Array.to_list primaries)
+    in
+    let blocking = List.sort compare blocking in
+    let rec fit cand = function
+      | [] -> cand
+      | (s, f) :: rest ->
+          if cand +. duration <= s +. Flt.eps then cand
+          else fit (Float.max cand f) rest
+    in
+    fit ready blocking
+  in
+  (* Schedule backups in topological order so predecessor backups exist. *)
+  Array.iter
+    (fun task ->
+      let prim = primaries.(task) in
+      let duration_on p = Costs.exec costs task p in
+      let best = ref None in
+      for p = 0 to m - 1 do
+        if p <> prim.proc then begin
+          (* data readiness on p under the scenario "prim.proc failed":
+             predecessors whose primary shared prim.proc deliver from
+             their backup, the others from their primary *)
+          let data_ready =
+            Array.fold_left
+              (fun acc (q, vol) ->
+                let source =
+                  if primaries.(q).proc = prim.proc then backup_of q
+                  else primaries.(q)
+                in
+                Float.max acc
+                  (source.finish +. comm costs source.proc p vol))
+              0. (Dag.preds dag task)
+          in
+          (* time exclusion: activation at the primary's deadline *)
+          let ready = Float.max data_ready prim.finish in
+          let start =
+            earliest_slot p ~ready ~duration:(duration_on p)
+              ~primary_proc:prim.proc
+          in
+          let finish = start +. duration_on p in
+          match !best with
+          | Some (bf, _, _) when bf <= finish -> ()
+          | _ -> best := Some (finish, p, start)
+        end
+      done;
+      match !best with
+      | None -> invalid_arg "Primary_backup.run: no backup slot"
+      | Some (finish, p, start) ->
+          backups.(task) <- Some { proc = p; start; finish };
+          reservations.(p) <- (start, finish, prim.proc) :: reservations.(p))
+    (Dag.topological_order dag);
+  let entries =
+    Array.init v (fun task ->
+        { primary = primaries.(task); backup = Option.get backups.(task) })
+  in
+  { costs; entries }
+
+let fault_free_latency t =
+  Array.fold_left (fun acc e -> Float.max acc e.primary.finish) 0. t.entries
+
+let reserved_time t =
+  Array.fold_left
+    (fun acc e -> acc +. (e.backup.finish -. e.backup.start))
+    0. t.entries
+
+let overloaded_pairs t =
+  let n = Array.length t.entries in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = t.entries.(i).backup and b = t.entries.(j).backup in
+      if a.proc = b.proc && a.start < b.finish && b.start < a.finish then
+        incr count
+    done
+  done;
+  !count
+
+let latency_with_crash t ~crashed =
+  let dag = Costs.dag t.costs in
+  let v = Dag.task_count dag in
+  (* executed copy of each task under the single failure *)
+  let copy task =
+    let e = t.entries.(task) in
+    if e.primary.proc = crashed then e.backup else e.primary
+  in
+  (* a task is stuck if both copies are on the crashed processor —
+     excluded by construction *)
+  let stuck =
+    Array.exists
+      (fun e -> e.primary.proc = crashed && e.backup.proc = crashed)
+      t.entries
+  in
+  if stuck then None
+  else begin
+    (* dynamic recomputation: one pass in topological order (so
+       predecessor times are known), each site executing its surviving
+       copies in that precedence-compatible order; backups keep their
+       activation deadline (the primary's expected finish) *)
+    let dyn_finish = Array.make v nan in
+    let proc_free = Array.make (Platform.proc_count (Costs.platform t.costs)) 0. in
+    (* executed copies per proc, in static start order *)
+    Array.iter
+      (fun task ->
+        let c = copy task in
+        let e = t.entries.(task) in
+        let data_ready =
+          Array.fold_left
+            (fun acc (q, vol) ->
+              let qc = copy q in
+              Float.max acc (dyn_finish.(q) +. comm t.costs qc.proc c.proc vol))
+            0. (Dag.preds dag task)
+        in
+        let deadline =
+          if e.primary.proc = crashed then e.primary.finish else 0.
+        in
+        let start =
+          Float.max proc_free.(c.proc) (Float.max data_ready deadline)
+        in
+        let finish = start +. (c.finish -. c.start) in
+        dyn_finish.(task) <- finish;
+        proc_free.(c.proc) <- finish)
+      (Dag.topological_order dag);
+    Some (Array.fold_left Float.max 0. dyn_finish)
+  end
+
+let validate t =
+  let dag = Costs.dag t.costs in
+  let issues = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  Array.iteri
+    (fun task e ->
+      if e.primary.proc = e.backup.proc then
+        add "task %d: backup shares the primary's processor" task;
+      if e.backup.start +. Flt.eps < e.primary.finish then
+        add "task %d: backup starts before the primary's deadline" task;
+      let dp = e.primary.finish -. e.primary.start in
+      if not (Flt.approx_eq ~tol:1e-6 dp (Costs.exec t.costs task e.primary.proc))
+      then add "task %d: primary duration mismatch" task;
+      let db = e.backup.finish -. e.backup.start in
+      if not (Flt.approx_eq ~tol:1e-6 db (Costs.exec t.costs task e.backup.proc))
+      then add "task %d: backup duration mismatch" task;
+      (* data availability of the primary (macro-dataflow) *)
+      Array.iter
+        (fun (q, vol) ->
+          let qp = t.entries.(q).primary in
+          if
+            e.primary.start +. 1e-6
+            < qp.finish +. comm t.costs qp.proc e.primary.proc vol
+          then add "task %d: primary starts before data from %d" task q;
+          (* data availability of the backup under its scenario *)
+          let source =
+            if qp.proc = e.primary.proc then t.entries.(q).backup else qp
+          in
+          if
+            e.backup.start +. 1e-6
+            < source.finish +. comm t.costs source.proc e.backup.proc vol
+          then add "task %d: backup starts before data from %d" task q)
+        (Dag.preds dag task))
+    t.entries;
+  (* per-processor exclusions *)
+  let n = Array.length t.entries in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i < j then begin
+        let pi = t.entries.(i).primary and pj = t.entries.(j).primary in
+        if pi.proc = pj.proc && pi.start < pj.finish -. Flt.eps
+           && pj.start < pi.finish -. Flt.eps
+        then add "primaries %d and %d overlap on P%d" i j pi.proc
+      end;
+      let b = t.entries.(i).backup and p = t.entries.(j).primary in
+      if
+        b.proc = p.proc && b.start < p.finish -. Flt.eps
+        && p.start < b.finish -. Flt.eps
+      then add "backup %d overlaps primary %d on P%d" i j b.proc;
+      if i < j then begin
+        let bi = t.entries.(i).backup and bj = t.entries.(j).backup in
+        if
+          bi.proc = bj.proc
+          && bi.start < bj.finish -. Flt.eps
+          && bj.start < bi.finish -. Flt.eps
+          && t.entries.(i).primary.proc = t.entries.(j).primary.proc
+        then
+          add "backups %d and %d overlap with the same primary processor" i j
+      end
+    done
+  done;
+  List.rev !issues

@@ -1,0 +1,73 @@
+(** Primary/backup (passive replication) scheduling — the {e other} family
+    of fault-tolerant schedulers the paper surveys (Section 3 (i)):
+    \[2, 9, 18, 19, 21, 28\].
+
+    One {e primary} copy of every task is scheduled (HEFT order and
+    placement); a {e backup} copy is reserved on a different processor,
+    starting no earlier than the primary's expected finish (time
+    exclusion: the backup is activated only if the primary's processor is
+    observed to have failed).  Two classic optimizations apply:
+
+    - {e backup overloading}: backup reservations of two tasks may overlap
+      on a processor when their primaries are on {e different} processors
+      — at most one of them can ever be activated under the single-failure
+      assumption;
+    - {e de-allocation}: when the primary completes, its backup slot is
+      released (reflected here in {!reserved_time} being reservation, not
+      consumption).
+
+    As in the literature this scheme assumes (per the paper): at most
+    {b one} processor fails, and a second failure cannot occur before
+    recovery; and the {b macro-dataflow} model (no communication
+    contention).  That makes it the natural foil for CAFT at
+    [epsilon = 1]: passive replication has no fault-free overhead but pays
+    a recovery delay on crash, active replication pays upfront and hides
+    crashes entirely.  The comparison is benched by
+    [bench/main.exe -- --table passive].
+
+    A backup must be able to run with valid inputs when the (single)
+    failure hits its primary's processor: for every predecessor, if the
+    predecessor's primary sits on that same doomed processor the backup
+    reads from the predecessor's {e backup}, otherwise from its primary —
+    both with macro-dataflow communication delays. *)
+
+type placement = { proc : Platform.proc; start : float; finish : float }
+
+type entry = { primary : placement; backup : placement }
+
+type t
+
+val run : ?seed:int -> Costs.t -> t
+(** Schedules primaries (HEFT under macro-dataflow) and backups (earliest
+    feasible reservation honouring time exclusion, data availability and
+    the overloading rule).  Raises [Invalid_argument] if the platform has
+    fewer than 2 processors. *)
+
+val entry : t -> Dag.task -> entry
+val costs : t -> Costs.t
+
+val fault_free_latency : t -> float
+(** Makespan of the primaries alone — what the application costs when
+    nothing fails (the whole point of passive replication). *)
+
+val reserved_time : t -> float
+(** Total backup reservation time (released when primaries succeed). *)
+
+val overloaded_pairs : t -> int
+(** Number of overlapping backup pairs sharing a processor — how much the
+    overloading optimization compresses the reservations. *)
+
+val latency_with_crash : t -> crashed:Platform.proc -> float option
+(** Dynamic replay under the failure of one processor (from time zero):
+    tasks whose primary sits on the crashed processor run their backup;
+    every start time is recomputed from the executed copies of the
+    predecessors.  [None] if some task cannot run at all (both copies on
+    the crashed processor — excluded by construction, so [None] signals a
+    bug, and the tests assert it never happens). *)
+
+val validate : t -> string list
+(** Static checks: primary/backup space exclusion, time exclusion,
+    primaries pairwise disjoint per processor, backups disjoint from
+    primaries on their processor, overlapping backups have distinct
+    primary processors, data availability of both copies.  Empty list =
+    valid. *)

@@ -1,0 +1,39 @@
+(* CAFT, Algorithm 5.1: list scheduling in dynamic [tl + bl] priority
+   order, each task placed by the one-to-one/full-replication engine
+   (Algorithm 5.2 with the support-set strengthening — see Caft_engine). *)
+
+let run ?(model = Netstate.One_port) ?fabric ?insertion ?(one_to_one = true)
+    ?(seed = 42) ~epsilon costs =
+  let engine =
+    Caft_engine.create ~model ?fabric ?insertion ~one_to_one ~epsilon costs
+  in
+  let rng = Rng.create seed in
+  let prio = Prio.create ~rng costs in
+  let rec loop () =
+    match Prio.pop prio with
+    | None ->
+        if not (Prio.is_done prio) then
+          failwith "Caft.run: no free task but tasks remain (DAG inconsistency)"
+    | Some task ->
+        Caft_engine.schedule_task engine task;
+        Prio.mark_scheduled prio task
+          ~completion:(Caft_engine.completion_lower engine task);
+        loop ()
+  in
+  loop ();
+  let name =
+    let base = if one_to_one then "CAFT" else "CAFT-full" in
+    match model with
+    | Netstate.One_port -> base
+    | Netstate.Macro_dataflow -> base ^ "-macro"
+    | Netstate.Multiport k -> Printf.sprintf "%s-mp%d" base k
+  in
+  Caft_engine.to_schedule ~algorithm:name engine
+
+let fault_free ?model ?fabric ?insertion ?seed costs =
+  let sched = run ?model ?fabric ?insertion ?seed ~epsilon:0 costs in
+  Schedule.create
+    ~insertion:(Schedule.insertion sched)
+    ~algorithm:"CAFT-ff" ~epsilon:0 ~model:(Schedule.model sched)
+    ~costs:(Schedule.costs sched)
+    (Schedule.all_replicas sched)

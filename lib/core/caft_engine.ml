@@ -1,0 +1,265 @@
+(* Placement engine implementing Algorithms 5.1/5.2 of the paper with the
+   support-set strengthening.  See Caft's interface and DESIGN.md for the
+   full rationale; in brief:
+
+   Support sets.  For a placed replica [r], [support(r)] is a set of
+   processors such that, whenever no processor of [support(r)] crashes
+   (and at most [epsilon] processors crash in total), [r] completes:
+
+   - a replica input that receives from *every* replica of a predecessor
+     survives as long as the replica's own processor does, because by
+     induction the predecessor task completes on some surviving processor
+     which then feeds it — contribution to the support: nothing;
+   - a one-to-one input depends on its single chosen source, so it
+     contributes the source's whole support.
+
+   A task resists [epsilon] arbitrary failures if the supports of its
+   [epsilon + 1] replicas are pairwise disjoint: any [epsilon] crashes
+   miss at least one support entirely (and the induction closes because
+   this holds for every task).  The paper locks only the head processors
+   of the current step (equation (7)), which leaves chains of one-to-one
+   mappings vulnerable; locking the whole support restores
+   Proposition 5.2.
+
+   The placement loop generalises Algorithm 5.2 in three ways, each of
+   which only *increases* the opportunities for one-to-one communication
+   while preserving the guarantee:
+
+   - the head pool of a predecessor is every placed replica whose support
+     is disjoint from the locked set, not just the replicas on singleton
+     processors (singletons are the depth-1 approximation of "lockable
+     without collateral", which the support test answers exactly);
+   - the one-to-one/full-replication decision is made per predecessor
+     rather than per replica, so a task keeps cheap one-to-one inputs for
+     the predecessors that allow it even when another predecessor has run
+     out of disjoint replicas;
+   - a candidate placement is admissible only if its support leaves at
+     least one unlocked processor per sibling replica still to place,
+     which keeps the invariant "unlocked >= replicas remaining" and rules
+     out the locked-set exhaustion the paper leaves implicit.
+
+   Explicit head popping is subsumed: once a head feeds one sibling, its
+   support is locked and the disjointness filter removes it from every
+   later pool. *)
+
+(* Estimated finish time of the communication shipping [volume] units from
+   replica [r] to processor [p] under the current network state — the sort
+   key of Algorithm 5.2 line 3.  Co-located replicas "finish" when the
+   replica itself does. *)
+let leg_finish_estimate net (r : Schedule.replica) ~volume ~dst =
+  let src = r.Schedule.r_proc in
+  if src = dst then r.Schedule.r_finish
+  else begin
+    let platform = Netstate.platform net in
+    let w = Platform.comm_time platform ~src ~dst ~volume in
+    let start =
+      Float.max (Netstate.send_free net src)
+        (Float.max r.Schedule.r_finish (Netstate.link_ready net ~src ~dst))
+    in
+    start +. w
+  end
+
+(* The input plan of one candidate placement: per predecessor, either a
+   single one-to-one source or full replication. *)
+type input_mode = One_to_one of Schedule.replica | Full
+
+type t = {
+  ws : Workspace.t;
+  net : Netstate.t;
+  dag : Dag.t;
+  m : int;
+  epsilon : int;
+  costs : Costs.t;
+  one_to_one : bool;
+  supports : Bitset.t option array array;
+}
+
+let create ?model ?fabric ?insertion ?(one_to_one = true) ~epsilon costs =
+  let ws = Workspace.create ?model ?fabric ?insertion ~epsilon costs in
+  {
+    ws;
+    net = Workspace.net ws;
+    dag = Workspace.dag ws;
+    m = Platform.proc_count (Workspace.platform ws);
+    epsilon;
+    costs;
+    one_to_one;
+    supports =
+      Array.init
+        (Dag.task_count (Workspace.dag ws))
+        (fun _ -> Array.make (epsilon + 1) None);
+  }
+
+let epsilon t = t.epsilon
+let dag t = t.dag
+
+let support_of t task idx =
+  match t.supports.(task).(idx) with
+  | Some s -> s
+  | None -> invalid_arg "Caft_engine: support of unplaced replica"
+
+let exec t task p = Costs.exec t.costs task p
+
+(* Build the input plan for candidate processor [p] given the supports
+   locked by the sibling replicas: greedily give every predecessor its
+   cheapest support-disjoint head, then demote the largest-support heads
+   to full replication until the combined support is admissible. *)
+let plan_for t ~preds ~locked ~remaining_after task p =
+  ignore task;
+  let head_for (pred, volume) =
+    if not t.one_to_one then None
+    else
+    List.fold_left
+      (fun best r ->
+        if Bitset.disjoint (support_of t pred r.Schedule.r_index) locked then begin
+          let key = leg_finish_estimate t.net r ~volume ~dst:p in
+          match best with
+          | Some (bkey, _) when bkey <= key -> best
+          | _ -> Some (key, r)
+        end
+        else best)
+      None
+      (Workspace.placed t.ws pred)
+  in
+  let modes =
+    Array.map
+      (fun (pred, volume) ->
+        match head_for (pred, volume) with
+        | Some (_, r) -> (pred, volume, ref (One_to_one r))
+        | None -> (pred, volume, ref Full))
+      preds
+  in
+  let support () =
+    let s = Bitset.singleton t.m p in
+    Array.iter
+      (fun (pred, _, mode) ->
+        match !mode with
+        | One_to_one r ->
+            Bitset.union_into ~into:s (support_of t pred r.Schedule.r_index)
+        | Full -> ())
+      modes;
+    s
+  in
+  let admissible s =
+    t.m - Bitset.cardinal (Bitset.union locked s) >= remaining_after
+  in
+  let demote_largest () =
+    let worst = ref None in
+    Array.iter
+      (fun (_, _, mode) ->
+        match !mode with
+        | One_to_one r ->
+            let card =
+              Bitset.cardinal
+                (support_of t r.Schedule.r_task r.Schedule.r_index)
+            in
+            (match !worst with
+            | Some (wcard, _) when wcard >= card -> ()
+            | _ -> worst := Some (card, mode))
+        | Full -> ())
+      modes;
+    match !worst with
+    | Some (_, mode) ->
+        mode := Full;
+        true
+    | None -> false
+  in
+  let rec settle () =
+    let s = support () in
+    if admissible s then Some (modes, s)
+    else if demote_largest () then settle ()
+    else None (* even {p} inadmissible: p cannot host this replica *)
+  in
+  settle ()
+
+let inputs_of_plan t modes =
+  Array.to_list
+    (Array.map
+       (fun (pred, volume, mode) ->
+         match !mode with
+         | One_to_one r -> (pred, [ Workspace.source_of_replica t.ws r ~volume ])
+         | Full ->
+             ( pred,
+               List.map
+                 (fun r -> Workspace.source_of_replica t.ws r ~volume)
+                 (Workspace.placed t.ws pred) ))
+       modes)
+
+(* The intra-processor suppression rule (a co-located supplier mutes the
+   remote copies) is only safe for full-replication inputs when the
+   co-located supplier cannot starve while [p] is alive, i.e. its support
+   is exactly {p}. *)
+let colocate_exclusive_ok t modes p =
+  Array.for_all
+    (fun (pred, _, mode) ->
+      match !mode with
+      | One_to_one _ -> true
+      | Full -> (
+          match
+            List.find_opt
+              (fun r -> r.Schedule.r_proc = p)
+              (Workspace.placed t.ws pred)
+          with
+          | None -> true
+          | Some r ->
+              Bitset.equal
+                (support_of t pred r.Schedule.r_index)
+                (Bitset.singleton t.m p)))
+    modes
+
+let book t task p modes =
+  if Array.length modes = 0 then
+    Netstate.book_exec_only t.net ~proc:p ~exec:(exec t task p)
+  else
+    Netstate.book_replica t.net ~proc:p ~exec:(exec t task p)
+      ~inputs:(inputs_of_plan t modes)
+      ~colocate_exclusive:(colocate_exclusive_ok t modes p)
+
+(* Evaluate every unlocked processor and return the placement with the
+   earliest finish, without committing anything. *)
+let best_placement t ~preds ~locked ~remaining_after task =
+  let snap = Netstate.snapshot t.net in
+  List.fold_left
+    (fun best p ->
+      match plan_for t ~preds ~locked ~remaining_after task p with
+      | None -> best
+      | Some (modes, s) -> (
+          let booked = book t task p modes in
+          Netstate.restore t.net snap;
+          match best with
+          | Some (bf, _, _, _) when bf <= booked.Netstate.b_finish -> best
+          | _ -> Some (booked.Netstate.b_finish, p, modes, s)))
+    None
+    (Bitset.complement_elements locked)
+
+let schedule_task t task =
+  let preds = Dag.preds t.dag task in
+  (* union of the supports of the replicas of [task] placed so far *)
+  let locked = Bitset.create t.m in
+  let place_one ~remaining_after =
+    match best_placement t ~preds ~locked ~remaining_after task with
+    | None ->
+        (* unreachable: the admissibility invariant keeps at least one
+           unlocked processor per remaining replica, and the all-Full plan
+           on such a processor is always admissible *)
+        failwith "Caft_engine: no candidate processor (invariant broken)"
+    | Some (_, p, modes, s) ->
+        let booked = book t task p modes in
+        let r = Workspace.place t.ws ~task ~proc:p booked in
+        t.supports.(task).(r.Schedule.r_index) <- Some s;
+        Bitset.union_into ~into:locked s
+  in
+  for i = 1 to t.epsilon + 1 do
+    place_one ~remaining_after:(t.epsilon + 1 - i)
+  done
+
+let estimate_finish t task =
+  let preds = Dag.preds t.dag task in
+  let locked = Bitset.create t.m in
+  match best_placement t ~preds ~locked ~remaining_after:t.epsilon task with
+  | Some (finish, _, _, _) -> finish
+  | None -> infinity
+
+let completion_lower t task = Workspace.completion_lower t.ws task
+let support t task idx = Bitset.copy (support_of t task idx)
+let to_schedule ~algorithm t = Workspace.to_schedule ~algorithm t.ws

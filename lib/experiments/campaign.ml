@@ -1,0 +1,151 @@
+type algo_metrics = {
+  latency0 : float;
+  upper : float;
+  latency_crash : float;
+  overhead0 : float;
+  overhead_crash : float;
+  messages : float;
+  latency0_stddev : float;
+}
+
+type point = {
+  granularity : float;
+  caft : algo_metrics;
+  ftsa : algo_metrics;
+  ftbar : algo_metrics;
+  fault_free_caft : float;
+  fault_free_ftbar : float;
+  edges : float;
+}
+
+type result = { config : Config.t; points : point list }
+
+let normalization costs =
+  let dag = Costs.dag costs in
+  let mean_delay = Platform.mean_delay (Costs.platform costs) in
+  let e = Dag.edge_count dag in
+  if e = 0 || mean_delay = 0. then 1.
+  else
+    Dag.fold_edges (fun _ _ vol acc -> acc +. (vol *. mean_delay)) dag 0.
+    /. float_of_int e
+
+(* one instance of the campaign: the DAG and its unscaled costs *)
+type instance = {
+  costs1 : Costs.t;
+  sched_seed : int;
+  crashed : Platform.proc list;
+}
+
+(* per-instance, per-algorithm normalized measurements *)
+type algo_raw = {
+  r_l0 : float;
+  r_ub : float;
+  r_lc : float;
+  r_ov0 : float;
+  r_ovc : float;
+  r_msgs : float;
+}
+
+type instance_raw = {
+  i_caft : algo_raw;
+  i_ftsa : algo_raw;
+  i_ftbar : algo_raw;
+  i_ffc : float;
+  i_ffb : float;
+  i_edges : float;
+}
+
+let measure sched ~crashed =
+  let out = Replay.crash_from_start sched ~crashed in
+  if not out.Replay.completed then
+    failwith
+      (Printf.sprintf
+         "Campaign.run: %s schedule failed under %d crashes (should resist)"
+         (Schedule.algorithm sched) (List.length crashed));
+  out.Replay.latency
+
+(* Everything measured about one instance at one granularity.  Pure
+   function of the instance (no shared mutable state), so the instances of
+   a point can be evaluated on parallel domains. *)
+let measure_instance ~epsilon ~granularity inst =
+  let costs = Granularity.rescale_to inst.costs1 granularity in
+  let norm = normalization costs in
+  let seed = inst.sched_seed in
+  let ff_caft = Caft.fault_free ~seed costs in
+  let ff_ftbar = Ftbar.run ~seed ~epsilon:0 costs in
+  let lstar = Schedule.latency_zero_crash ff_caft in
+  let overhead l = 100. *. (l -. lstar) /. lstar in
+  let algo schedule =
+    let sched = schedule ~seed ~epsilon costs in
+    let lc = measure sched ~crashed:inst.crashed in
+    let l0 = Schedule.latency_zero_crash sched in
+    {
+      r_l0 = l0 /. norm;
+      r_ub = Schedule.latency_upper_bound sched /. norm;
+      r_lc = lc /. norm;
+      r_ov0 = overhead l0;
+      r_ovc = overhead lc;
+      r_msgs = float_of_int (Schedule.message_count sched);
+    }
+  in
+  {
+    i_caft = algo (fun ~seed ~epsilon costs -> Caft.run ~seed ~epsilon costs);
+    i_ftsa = algo (fun ~seed ~epsilon costs -> Ftsa.run ~seed ~epsilon costs);
+    i_ftbar = algo (fun ~seed ~epsilon costs -> Ftbar.run ~seed ~epsilon costs);
+    i_ffc = Schedule.latency_zero_crash ff_caft /. norm;
+    i_ffb = Schedule.latency_zero_crash ff_ftbar /. norm;
+    i_edges = float_of_int (Dag.edge_count (Costs.dag costs));
+  }
+
+let summarize rows select =
+  let raws = List.map select rows in
+  {
+    latency0 = Stats.mean (List.map (fun r -> r.r_l0) raws);
+    upper = Stats.mean (List.map (fun r -> r.r_ub) raws);
+    latency_crash = Stats.mean (List.map (fun r -> r.r_lc) raws);
+    overhead0 = Stats.mean (List.map (fun r -> r.r_ov0) raws);
+    overhead_crash = Stats.mean (List.map (fun r -> r.r_ovc) raws);
+    messages = Stats.mean (List.map (fun r -> r.r_msgs) raws);
+    latency0_stddev = Stats.stddev (List.map (fun r -> r.r_l0) raws);
+  }
+
+let run ?(seed = 2008) ?(progress = fun _ -> ()) ?domains (config : Config.t) =
+  let rng = Rng.create seed in
+  (* Draw the instances once; the granularity sweep only rescales costs. *)
+  let instances =
+    List.init config.Config.graphs_per_point (fun _ ->
+        let grng = Rng.split rng in
+        let dag = Random_dag.generate_default grng in
+        let params = Platform_gen.default ~m:config.Config.m () in
+        let costs1 = Platform_gen.instance grng ~granularity:1.0 params dag in
+        let sched_seed = Rng.int grng 1_000_000 in
+        let crashed =
+          Scenario.uniform_procs grng ~m:config.Config.m
+            ~count:config.Config.crashes
+        in
+        { costs1; sched_seed; crashed })
+  in
+  let epsilon = config.Config.epsilon in
+  let point granularity =
+    let rows =
+      Parallel.map ?domains (measure_instance ~epsilon ~granularity) instances
+    in
+    let p =
+      {
+        granularity;
+        caft = summarize rows (fun r -> r.i_caft);
+        ftsa = summarize rows (fun r -> r.i_ftsa);
+        ftbar = summarize rows (fun r -> r.i_ftbar);
+        fault_free_caft = Stats.mean (List.map (fun r -> r.i_ffc) rows);
+        fault_free_ftbar = Stats.mean (List.map (fun r -> r.i_ffb) rows);
+        edges = Stats.mean (List.map (fun r -> r.i_edges) rows);
+      }
+    in
+    progress
+      (Printf.sprintf
+         "%s: granularity %.2f done (CAFT %.2f, FTSA %.2f, FTBAR %.2f)"
+         config.Config.id granularity p.caft.latency0 p.ftsa.latency0
+         p.ftbar.latency0);
+    p
+  in
+  { config; points = List.map point config.Config.granularities }

@@ -1,0 +1,60 @@
+(** Campaign runner: regenerates the data behind each figure.
+
+    For every granularity point, [run] draws [graphs_per_point] random
+    instances (paper parameters: 80-120 tasks, degrees 1-3, volumes
+    50-150, delays 0.5-1), rescales the execution costs to the target
+    granularity, schedules each instance with CAFT, FTSA and FTBAR (all
+    one-port) at the configured [epsilon], plus the two fault-free
+    references (fault-free CAFT = HEFT, and fault-free FTBAR), replays
+    each fault-tolerant schedule under one uniformly drawn crash scenario
+    of [crashes] processors (the same scenario for the three algorithms),
+    and averages.
+
+    The same 60 instances are reused across the granularity sweep (only
+    the execution-cost scale changes), which removes sampling noise from
+    the curve shapes.
+
+    {b Normalization.}  The paper plots "normalized latency" without
+    giving the normalization constant.  We divide every latency by the
+    instance's mean edge communication cost (mean over edges of
+    volume x mean unit delay), which is invariant under the granularity
+    rescaling; see EXPERIMENTS.md.
+
+    {b Overhead.}  Per the paper's formula, the overhead of a schedule
+    latency [L] on an instance is [(L - Lstar) / Lstar] where [Lstar] is
+    the latency of the fault-free CAFT schedule of the same instance; we
+    report it in percent. *)
+
+type algo_metrics = {
+  latency0 : float;  (** normalized latency with 0 crash (mean) *)
+  upper : float;  (** normalized upper bound (mean) *)
+  latency_crash : float;  (** normalized latency with crashes (mean) *)
+  overhead0 : float;  (** mean overhead with 0 crash, percent *)
+  overhead_crash : float;  (** mean overhead with crashes, percent *)
+  messages : float;  (** mean inter-processor message count *)
+  latency0_stddev : float;  (** sample stddev of the normalized latency *)
+}
+
+type point = {
+  granularity : float;
+  caft : algo_metrics;
+  ftsa : algo_metrics;
+  ftbar : algo_metrics;
+  fault_free_caft : float;  (** normalized latency of fault-free CAFT *)
+  fault_free_ftbar : float;  (** normalized latency of fault-free FTBAR *)
+  edges : float;  (** mean edge count of the instances *)
+}
+
+type result = { config : Config.t; points : point list }
+
+val run :
+  ?seed:int -> ?progress:(string -> unit) -> ?domains:int -> Config.t -> result
+(** Runs the whole sweep.  [seed] (default 2008) makes the campaign
+    reproducible; [progress] receives one message per completed
+    granularity point.  [domains] (default: the machine's recommended
+    domain count) parallelizes the per-point instances over OCaml 5
+    domains — results are bit-identical to the sequential run ([1]). *)
+
+val normalization : Costs.t -> float
+(** The per-instance normalization constant (mean edge communication
+    cost; [1.] for edgeless graphs). *)

@@ -1,0 +1,229 @@
+let cell = Text_table.float_cell ~decimals:2
+
+let panel_a (r : Campaign.result) =
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [
+        "g";
+        "FTSA-0";
+        "FTSA-UB";
+        "FTBAR-0";
+        "FTBAR-UB";
+        "CAFT-0";
+        "CAFT-UB";
+        "FF-CAFT";
+        "FF-FTBAR";
+      ]
+  in
+  List.iter
+    (fun (p : Campaign.point) ->
+      Text_table.add_row t
+        [
+          cell p.granularity;
+          cell p.ftsa.Campaign.latency0;
+          cell p.ftsa.Campaign.upper;
+          cell p.ftbar.Campaign.latency0;
+          cell p.ftbar.Campaign.upper;
+          cell p.caft.Campaign.latency0;
+          cell p.caft.Campaign.upper;
+          cell p.fault_free_caft;
+          cell p.fault_free_ftbar;
+        ])
+    r.Campaign.points;
+  t
+
+let panel_b (r : Campaign.result) =
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [
+        "g";
+        "FTSA-0";
+        "FTSA-crash";
+        "FTBAR-0";
+        "FTBAR-crash";
+        "CAFT-0";
+        "CAFT-crash";
+      ]
+  in
+  List.iter
+    (fun (p : Campaign.point) ->
+      Text_table.add_row t
+        [
+          cell p.granularity;
+          cell p.ftsa.Campaign.latency0;
+          cell p.ftsa.Campaign.latency_crash;
+          cell p.ftbar.Campaign.latency0;
+          cell p.ftbar.Campaign.latency_crash;
+          cell p.caft.Campaign.latency0;
+          cell p.caft.Campaign.latency_crash;
+        ])
+    r.Campaign.points;
+  t
+
+let panel_c (r : Campaign.result) =
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [
+        "g";
+        "FTSA-0 (%)";
+        "FTSA-crash (%)";
+        "FTBAR-0 (%)";
+        "FTBAR-crash (%)";
+        "CAFT-0 (%)";
+        "CAFT-crash (%)";
+      ]
+  in
+  List.iter
+    (fun (p : Campaign.point) ->
+      Text_table.add_row t
+        [
+          cell p.granularity;
+          cell p.ftsa.Campaign.overhead0;
+          cell p.ftsa.Campaign.overhead_crash;
+          cell p.ftbar.Campaign.overhead0;
+          cell p.ftbar.Campaign.overhead_crash;
+          cell p.caft.Campaign.overhead0;
+          cell p.caft.Campaign.overhead_crash;
+        ])
+    r.Campaign.points;
+  t
+
+let messages (r : Campaign.result) =
+  let eps1 = float_of_int (r.Campaign.config.Config.epsilon + 1) in
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [ "g"; "CAFT"; "FTSA"; "FTBAR"; "e(eps+1)"; "e(eps+1)^2" ]
+  in
+  List.iter
+    (fun (p : Campaign.point) ->
+      Text_table.add_row t
+        [
+          cell p.granularity;
+          cell p.caft.Campaign.messages;
+          cell p.ftsa.Campaign.messages;
+          cell p.ftbar.Campaign.messages;
+          cell (p.edges *. eps1);
+          cell (p.edges *. eps1 *. eps1);
+        ])
+    r.Campaign.points;
+  t
+
+let render (r : Campaign.result) =
+  let c = r.Campaign.config in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "=== %s: %s ===\n" c.Config.id c.Config.description);
+  Buffer.add_string buf
+    (Printf.sprintf "(m=%d, epsilon=%d, crashes=%d, %d graphs/point)\n\n"
+       c.Config.m c.Config.epsilon c.Config.crashes c.Config.graphs_per_point);
+  Buffer.add_string buf
+    (Printf.sprintf "-- panel (a): normalized latency, bounds --\n%s\n"
+       (Text_table.to_string (panel_a r)));
+  Buffer.add_string buf
+    (Printf.sprintf "-- panel (b): normalized latency, with crashes --\n%s\n"
+       (Text_table.to_string (panel_b r)));
+  Buffer.add_string buf
+    (Printf.sprintf "-- panel (c): average overhead (%%) --\n%s\n"
+       (Text_table.to_string (panel_c r)));
+  Buffer.add_string buf
+    (Printf.sprintf "-- messages --\n%s\n" (Text_table.to_string (messages r)));
+  Buffer.contents buf
+
+let to_csv (r : Campaign.result) =
+  let t =
+    Text_table.create
+      [
+        "figure";
+        "granularity";
+        "ftsa_l0";
+        "ftsa_ub";
+        "ftsa_lc";
+        "ftsa_ov0";
+        "ftsa_ovc";
+        "ftsa_msgs";
+        "ftbar_l0";
+        "ftbar_ub";
+        "ftbar_lc";
+        "ftbar_ov0";
+        "ftbar_ovc";
+        "ftbar_msgs";
+        "caft_l0";
+        "caft_ub";
+        "caft_lc";
+        "caft_ov0";
+        "caft_ovc";
+        "caft_msgs";
+        "ff_caft";
+        "ff_ftbar";
+        "edges";
+      ]
+  in
+  List.iter
+    (fun (p : Campaign.point) ->
+      let a (x : Campaign.algo_metrics) =
+        [
+          cell x.Campaign.latency0;
+          cell x.Campaign.upper;
+          cell x.Campaign.latency_crash;
+          cell x.Campaign.overhead0;
+          cell x.Campaign.overhead_crash;
+          cell x.Campaign.messages;
+        ]
+      in
+      Text_table.add_row t
+        ((r.Campaign.config.Config.id :: cell p.granularity :: a p.ftsa)
+        @ a p.ftbar @ a p.caft
+        @ [ cell p.fault_free_caft; cell p.fault_free_ftbar; cell p.edges ]))
+    r.Campaign.points;
+  Text_table.to_csv t
+
+let to_gnuplot (r : Campaign.result) ~data =
+  let c = r.Campaign.config in
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# gnuplot script generated by ftsched; data file: %s" data;
+  line "set datafile separator ','";
+  line "set key top left";
+  line "set xlabel 'Granularity'";
+  line "set grid";
+  (* CSV columns (1-based): figure,granularity, ftsa(l0,ub,lc,ov0,ovc,msgs),
+     ftbar(...), caft(...), ff_caft, ff_ftbar, edges *)
+  line "set terminal pngcairo size 900,600";
+  line "set output '%s_a.png'" c.Config.id;
+  line "set ylabel 'Normalized Latency'";
+  line
+    "plot '%s' skip 1 using 2:3 with linespoints title 'FTSA With 0 Crash', \\" data;
+  line "     '%s' skip 1 using 2:4 with linespoints title 'FTSA-UpperBound', \\" data;
+  line "     '%s' skip 1 using 2:9 with linespoints title 'FTBAR With 0 Crash', \\" data;
+  line "     '%s' skip 1 using 2:10 with linespoints title 'FTBAR-UpperBound', \\" data;
+  line "     '%s' skip 1 using 2:15 with linespoints title 'CAFT With 0 Crash', \\" data;
+  line "     '%s' skip 1 using 2:16 with linespoints title 'CAFT-UpperBound', \\" data;
+  line "     '%s' skip 1 using 2:21 with linespoints title 'FaultFree-CAFT', \\" data;
+  line "     '%s' skip 1 using 2:22 with linespoints title 'FaultFree-FTBAR'" data;
+  line "set output '%s_b.png'" c.Config.id;
+  line "set ylabel 'Normalized Latency'";
+  line "plot '%s' skip 1 using 2:3 with linespoints title 'FTSA With 0 Crash', \\" data;
+  line "     '%s' skip 1 using 2:5 with linespoints title 'FTSA With %d Crash', \\" data
+    c.Config.crashes;
+  line "     '%s' skip 1 using 2:9 with linespoints title 'FTBAR With 0 Crash', \\" data;
+  line "     '%s' skip 1 using 2:11 with linespoints title 'FTBAR With %d Crash', \\"
+    data c.Config.crashes;
+  line "     '%s' skip 1 using 2:15 with linespoints title 'CAFT With 0 Crash', \\" data;
+  line "     '%s' skip 1 using 2:17 with linespoints title 'CAFT With %d Crash'" data
+    c.Config.crashes;
+  line "set output '%s_c.png'" c.Config.id;
+  line "set ylabel 'Average OverHead (%%)'";
+  line "plot '%s' skip 1 using 2:6 with linespoints title 'FTSA With 0 Crash', \\" data;
+  line "     '%s' skip 1 using 2:7 with linespoints title 'FTSA With %d Crash', \\" data
+    c.Config.crashes;
+  line "     '%s' skip 1 using 2:12 with linespoints title 'FTBAR With 0 Crash', \\" data;
+  line "     '%s' skip 1 using 2:13 with linespoints title 'FTBAR With %d Crash', \\"
+    data c.Config.crashes;
+  line "     '%s' skip 1 using 2:18 with linespoints title 'CAFT With 0 Crash', \\" data;
+  line "     '%s' skip 1 using 2:19 with linespoints title 'CAFT With %d Crash'" data
+    c.Config.crashes;
+  Buffer.contents b

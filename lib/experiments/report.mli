@@ -1,0 +1,33 @@
+(** Rendering of campaign results in the layout of the paper's figures.
+
+    Each figure has three panels: (a) normalized latency of the bound
+    series (0-crash, upper bound, fault-free references), (b) normalized
+    latency with effective crashes, (c) average fault-tolerance overhead
+    in percent.  One row per granularity, one column per series, matching
+    the curves of the paper. *)
+
+val panel_a : Campaign.result -> Text_table.t
+(** Series: FTSA-0, FTSA-UB, FTBAR-0, FTBAR-UB, CAFT-0, CAFT-UB,
+    FF-CAFT, FF-FTBAR. *)
+
+val panel_b : Campaign.result -> Text_table.t
+(** Series: X-0 and X-crash for X in FTSA, FTBAR, CAFT. *)
+
+val panel_c : Campaign.result -> Text_table.t
+(** Overheads (percent): X-0 and X-crash for X in FTSA, FTBAR, CAFT. *)
+
+val messages : Campaign.result -> Text_table.t
+(** Mean inter-processor message counts per algorithm, with the
+    [e(eps+1)] and [e(eps+1)^2] reference columns. *)
+
+val render : Campaign.result -> string
+(** All four tables, with headers. *)
+
+val to_csv : Campaign.result -> string
+(** Flat CSV of every series (one row per granularity). *)
+
+val to_gnuplot : Campaign.result -> data:string -> string
+(** A gnuplot script reproducing the figure's three panels from the CSV
+    written by {!to_csv} (pass its path as [data]).  Running
+    [gnuplot fig1.gp] renders [<id>_a.png], [<id>_b.png] and
+    [<id>_c.png] with the same series and axes as the paper's plots. *)

@@ -1,0 +1,39 @@
+(** Top levels, bottom levels and list-scheduling priorities.
+
+    The paper (Section 5) prioritises free tasks by [tl(t) + bl(t)] where
+    the top level [tl(t)] is the length of a longest path from an entry
+    node to [t] (excluding [t]'s execution time) and the bottom level
+    [bl(t)] the length of a longest path from [t] to an exit node
+    (including [t]'s execution time).  Path lengths use {e average} node
+    and edge weights: the node weight of [t] is the mean of [E(t, .)] over
+    processors, the edge weight of [(u, v)] is the volume times the mean
+    unit delay over distinct processor pairs (as in HEFT and FTSA). *)
+
+type t
+
+val compute : Costs.t -> t
+(** Static levels of every task of the DAG attached to the costs. *)
+
+val top_level : t -> Dag.task -> float
+(** [tl(t)]; zero for entry tasks. *)
+
+val bottom_level : t -> Dag.task -> float
+(** [bl(t)]; equals the average execution time for exit tasks. *)
+
+val priority : t -> Dag.task -> float
+(** [tl(t) + bl(t)]. *)
+
+val node_weight : t -> Dag.task -> float
+(** Average execution time of the task. *)
+
+val edge_weight : t -> src:Dag.task -> dst:Dag.task -> float
+(** Average communication time of the edge; raises [Invalid_argument] if
+    the edge does not exist. *)
+
+val critical_path : t -> float
+(** Length of a longest path through the average-weighted DAG,
+    [max_t (tl(t) + bl(t))]; [0.] for the empty DAG. *)
+
+val dynamic_top_levels : t -> float array
+(** A fresh mutable copy of the top levels, for schedulers that update
+    priorities as tasks get placed (Algorithm 5.1, line 21). *)

@@ -1,0 +1,189 @@
+type link =
+  | Start
+  | Processor_busy of { prev_task : Dag.task; prev_replica : int }
+  | Local_supply of { pred : Dag.task; pred_replica : int }
+  | Message_arrival of {
+      pred : Dag.task;
+      pred_replica : int;
+      src_proc : Platform.proc;
+      leg_start : float;
+      arrival : float;
+    }
+
+type step = {
+  task : Dag.task;
+  replica : int;
+  proc : Platform.proc;
+  start : float;
+  finish : float;
+  via : link;
+}
+
+(* What fixed the start time of [r]?  The binding constraint is whichever
+   of (a) the previous replica on the processor, (b) the latest
+   predecessor readiness, ends exactly at [r.start] (ties: prefer the
+   message, it is the more informative story). *)
+let binding_constraint sched (r : Schedule.replica) =
+  let tol = 1e-6 in
+  (* (b) per-predecessor readiness = earliest supply of that pred; the
+     binding pred is the one whose readiness is the latest *)
+  let dag = Schedule.dag sched in
+  let pred_ready pred =
+    List.filter_map
+      (function
+        | Schedule.Local { l_pred; l_pred_replica; l_finish }
+          when l_pred = pred ->
+            Some (l_finish, Local_supply { pred; pred_replica = l_pred_replica })
+        | Schedule.Message m when m.Netstate.m_source.Netstate.s_task = pred ->
+            Some
+              ( m.Netstate.m_arrival,
+                Message_arrival
+                  {
+                    pred;
+                    pred_replica = m.Netstate.m_source.Netstate.s_replica;
+                    src_proc = m.Netstate.m_source.Netstate.s_proc;
+                    leg_start = m.Netstate.m_leg_start;
+                    arrival = m.Netstate.m_arrival;
+                  } )
+        | Schedule.Local _ | Schedule.Message _ -> None)
+      r.Schedule.r_inputs
+    |> List.fold_left
+         (fun best (t, l) ->
+           match best with
+           | Some (bt, _) when bt <= t -> best
+           | _ -> Some (t, l))
+         None
+  in
+  let data =
+    List.filter_map pred_ready (Dag.pred_tasks dag r.Schedule.r_task)
+    |> List.fold_left
+         (fun best (t, l) ->
+           match best with
+           | Some (bt, _) when bt >= t -> best
+           | _ -> Some (t, l))
+         None
+  in
+  (match data with
+  | Some (t, l) when Flt.approx_eq ~tol t r.Schedule.r_start -> Some l
+  | _ -> None)
+  |> function
+  | Some l -> Some l
+  | None -> (
+      (* (a) processor occupancy *)
+      let prev =
+        List.fold_left
+          (fun best (r' : Schedule.replica) ->
+            if
+              r' != r
+              && Flt.approx_eq ~tol r'.Schedule.r_finish r.Schedule.r_start
+              (* strictly earlier start: keeps the walk well-founded even
+                 with zero-duration replicas *)
+              && r'.Schedule.r_start < r.Schedule.r_start -. tol
+            then Some r'
+            else best)
+          None
+          (Schedule.on_proc sched r.Schedule.r_proc)
+      in
+      match prev with
+      | Some r' ->
+          Some
+            (Processor_busy
+               {
+                 prev_task = r'.Schedule.r_task;
+                 prev_replica = r'.Schedule.r_index;
+               })
+      | None -> (
+          (* fall back to the latest data constraint even if it does not
+             exactly reach the start (idle gap); else the chain origin *)
+          match data with Some (_, l) -> Some l | None -> None))
+
+let critical_chain sched =
+  let dag = Schedule.dag sched in
+  if Dag.task_count dag = 0 then []
+  else begin
+    (* the replica realizing the zero-crash latency *)
+    let final =
+      List.fold_left
+        (fun best task ->
+          let first =
+            Array.fold_left
+              (fun acc (r : Schedule.replica) ->
+                match acc with
+                | Some (b : Schedule.replica) when b.Schedule.r_finish <= r.Schedule.r_finish -> acc
+                | _ -> Some r)
+              None (Schedule.replicas sched task)
+          in
+          match (best, first) with
+          | Some (b : Schedule.replica), Some f ->
+              if f.Schedule.r_finish > b.Schedule.r_finish then first else best
+          | None, Some _ -> first
+          | _, None -> best)
+        None
+        (List.init (Dag.task_count dag) Fun.id)
+    in
+    let rec walk (r : Schedule.replica) acc =
+      let via =
+        match binding_constraint sched r with Some l -> l | None -> Start
+      in
+      let step =
+        {
+          task = r.Schedule.r_task;
+          replica = r.Schedule.r_index;
+          proc = r.Schedule.r_proc;
+          start = r.Schedule.r_start;
+          finish = r.Schedule.r_finish;
+          via;
+        }
+      in
+      match via with
+      | Start -> step :: acc
+      | Processor_busy { prev_task; prev_replica } ->
+          walk (Schedule.replica sched prev_task prev_replica) (step :: acc)
+      | Local_supply { pred; pred_replica }
+      | Message_arrival { pred; pred_replica; _ } ->
+          walk (Schedule.replica sched pred pred_replica) (step :: acc)
+    in
+    match final with None -> [] | Some r -> walk r []
+  end
+
+let pp ppf steps =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut
+    (fun ppf s ->
+      let reason =
+        match s.via with
+        | Start -> "starts the chain"
+        | Processor_busy { prev_task; prev_replica } ->
+            Printf.sprintf "after t%d[%d] freed the processor" prev_task
+              prev_replica
+        | Local_supply { pred; pred_replica } ->
+            Printf.sprintf "after local data from t%d[%d]" pred pred_replica
+        | Message_arrival { pred; pred_replica; src_proc; arrival; _ } ->
+            Printf.sprintf "after the message from t%d[%d]@P%d arrived at %.2f"
+              pred pred_replica src_proc arrival
+      in
+      Format.fprintf ppf "t%d[%d] on P%d [%.2f, %.2f] — %s" s.task s.replica
+        s.proc s.start s.finish reason)
+    ppf steps
+
+let comm_share sched =
+  let steps = critical_chain sched in
+  match steps with
+  | [] | [ _ ] -> 0.
+  | first :: _ ->
+      let last = List.nth steps (List.length steps - 1) in
+      let span = last.finish -. first.start in
+      if span <= 0. then 0.
+      else begin
+        (* time between a step's availability and its start that is
+           attributable to a message in flight *)
+        let waiting =
+          List.fold_left
+            (fun acc s ->
+              match s.via with
+              | Message_arrival { leg_start; arrival; _ } ->
+                  acc +. (arrival -. leg_start)
+              | Start | Processor_busy _ | Local_supply _ -> acc)
+            0. steps
+        in
+        Flt.clamp ~lo:0. ~hi:1. (waiting /. span)
+      end

@@ -1,0 +1,47 @@
+(** Critical-chain analysis: {e why} is the latency what it is?
+
+    Starting from the replica that determines the zero-crash latency, the
+    chain walks backwards through whatever constraint fixed each start
+    time — the arrival of the last needed input message, a co-located
+    supplier, or the previous replica occupying the processor — down to a
+    replica that starts at time zero.  The result reads as the schedule's
+    actual critical path through computation, communication and
+    contention, and is the first thing to look at when a latency
+    surprises you. *)
+
+type link =
+  | Start  (** chain origin: the replica starts at time 0 *)
+  | Processor_busy of { prev_task : Dag.task; prev_replica : int }
+      (** the processor was running the previous replica until our start *)
+  | Local_supply of { pred : Dag.task; pred_replica : int }
+      (** waiting for a co-located predecessor replica to finish *)
+  | Message_arrival of {
+      pred : Dag.task;
+      pred_replica : int;
+      src_proc : Platform.proc;
+      leg_start : float;
+      arrival : float;
+    }
+      (** waiting for the decisive input message to arrive *)
+
+type step = {
+  task : Dag.task;
+  replica : int;
+  proc : Platform.proc;
+  start : float;
+  finish : float;
+  via : link;  (** what the start of this step was waiting on *)
+}
+
+val critical_chain : Schedule.t -> step list
+(** The chain, from the origin (earliest step, [via = Start]) to the
+    replica that realizes {!Schedule.latency_zero_crash}.  Empty only for
+    an empty DAG. *)
+
+val pp : Format.formatter -> step list -> unit
+(** One line per step, oldest first. *)
+
+val comm_share : Schedule.t -> float
+(** Fraction of the critical chain's span spent waiting on message
+    arrivals rather than computing — a direct measure of how much
+    contention and communication shape the latency.  In [\[0, 1\]]. *)

@@ -1,0 +1,296 @@
+type model = Macro_dataflow | One_port | Multiport of int
+
+let ports_of_model = function
+  | Macro_dataflow -> 1 (* unused *)
+  | One_port -> 1
+  | Multiport k ->
+      if k < 1 then invalid_arg "Netstate: Multiport needs k >= 1";
+      k
+
+type fabric = {
+  phys_count : int;
+  route : Platform.proc -> Platform.proc -> int list;
+}
+
+(* Clique fabric: one dedicated physical link per ordered processor
+   pair. *)
+let clique_fabric m =
+  { phys_count = m * m; route = (fun src dst -> [ (src * m) + dst ]) }
+
+type t = {
+  platform : Platform.t;
+  model : model;
+  fabric : fabric;
+  insertion : bool;
+  ready : float array;
+  busy : (float * float) list array;
+      (* per-processor busy intervals, sorted by start; only maintained
+         when [insertion] — the append-only mode needs just [ready] *)
+  sf : float array array;  (* per-processor send slots (k per port) *)
+  rf : float array array;  (* per-processor receive slots *)
+  phys : float array;  (* ready time per physical link *)
+}
+
+type snapshot = {
+  snap_ready : float array;
+  snap_busy : (float * float) list array;
+  snap_sf : float array array;
+  snap_rf : float array array;
+  snap_phys : float array;
+}
+
+let create ?(model = One_port) ?fabric ?(insertion = false) platform =
+  let m = Platform.proc_count platform in
+  let fabric =
+    match fabric with Some f -> f | None -> clique_fabric m
+  in
+  let k = ports_of_model model in
+  {
+    platform;
+    model;
+    fabric;
+    insertion;
+    ready = Array.make m 0.;
+    busy = Array.make m [];
+    sf = Array.init m (fun _ -> Array.make k 0.);
+    rf = Array.init m (fun _ -> Array.make k 0.);
+    phys = Array.make fabric.phys_count 0.;
+  }
+
+let model t = t.model
+let platform t = t.platform
+let fabric t = t.fabric
+let insertion t = t.insertion
+
+let snapshot t =
+  {
+    snap_ready = Array.copy t.ready;
+    snap_busy = Array.copy t.busy;
+    snap_sf = Array.map Array.copy t.sf;
+    snap_rf = Array.map Array.copy t.rf;
+    snap_phys = Array.copy t.phys;
+  }
+
+let restore t snap =
+  Array.blit snap.snap_ready 0 t.ready 0 (Array.length t.ready);
+  Array.blit snap.snap_busy 0 t.busy 0 (Array.length t.busy);
+  Array.iteri (fun i row -> Array.blit row 0 t.sf.(i) 0 (Array.length row))
+    snap.snap_sf;
+  Array.iteri (fun i row -> Array.blit row 0 t.rf.(i) 0 (Array.length row))
+    snap.snap_rf;
+  Array.blit snap.snap_phys 0 t.phys 0 (Array.length t.phys)
+
+let proc_ready t p = t.ready.(p)
+
+(* the earliest-free slot of a port; with one slot this is the paper's
+   scalar SF/RF *)
+let min_slot slots = Array.fold_left Float.min infinity slots
+
+let argmin_slot slots =
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v < slots.(!best) then best := i) slots;
+  !best
+
+let send_free t p = min_slot t.sf.(p)
+let recv_free t p = min_slot t.rf.(p)
+
+let link_ready t ~src ~dst =
+  List.fold_left (fun acc l -> Float.max acc t.phys.(l)) 0.
+    (t.fabric.route src dst)
+
+type source = {
+  s_task : Dag.task;
+  s_replica : int;
+  s_proc : Platform.proc;
+  s_finish : float;
+  s_volume : float;
+}
+
+type message = {
+  m_source : source;
+  m_dst_proc : Platform.proc;
+  m_duration : float;
+  m_leg_start : float;
+  m_leg_finish : float;
+  m_arrival : float;
+}
+
+type booked = {
+  b_start : float;
+  b_finish : float;
+  b_messages : message list;
+  b_local : (Dag.task * int * float) list;
+}
+
+(* Book the link leg of one message under the current model; equations (4)
+   of the paper for the one-port case.  Under a routed fabric the leg
+   reserves every physical link of the route for its whole duration
+   (circuit-style, "at most one message on a given link at a time"). *)
+let book_leg t src dst w s_finish =
+  match t.model with
+  | Macro_dataflow ->
+      let start = s_finish in
+      (start, start +. w)
+  | One_port | Multiport _ ->
+      let slot = argmin_slot t.sf.(src) in
+      let start =
+        Float.max t.sf.(src).(slot)
+          (Float.max s_finish (link_ready t ~src ~dst))
+      in
+      let finish = start +. w in
+      t.sf.(src).(slot) <- finish;
+      List.iter (fun l -> t.phys.(l) <- finish) (t.fabric.route src dst);
+      (start, finish)
+
+(* Execution booking.  The paper's list schedulers append after the last
+   task of the processor (ready time r(P)); with [insertion] enabled the
+   replica is placed in the earliest idle gap that fits — the classic
+   HEFT insertion policy, kept as an ablation. *)
+let book_exec t proc exec data_ready =
+  if not t.insertion then begin
+    let start = Float.max t.ready.(proc) data_ready in
+    let finish = start +. exec in
+    t.ready.(proc) <- finish;
+    (start, finish)
+  end
+  else begin
+    let rec fit prev_end = function
+      | [] -> Float.max prev_end data_ready
+      | (s, f) :: rest ->
+          let cand = Float.max prev_end data_ready in
+          if cand +. exec <= s +. Flt.eps then cand else fit (Float.max prev_end f) rest
+    in
+    let start = fit 0. t.busy.(proc) in
+    let finish = start +. exec in
+    let rec insert = function
+      | [] -> [ (start, finish) ]
+      | ((s, _) as iv) :: rest when s < start -> iv :: insert rest
+      | rest -> (start, finish) :: rest
+    in
+    t.busy.(proc) <- insert t.busy.(proc);
+    if finish > t.ready.(proc) then t.ready.(proc) <- finish;
+    (start, finish)
+  end
+
+let book_exec_only t ~proc ~exec =
+  let b_start, b_finish = book_exec t proc exec 0. in
+  { b_start; b_finish; b_messages = []; b_local = [] }
+
+let book_replica ?(colocate_exclusive = true) t ~proc ~exec ~inputs =
+  List.iter
+    (fun (pred, sources) ->
+      if sources = [] then
+        invalid_arg
+          (Printf.sprintf "Netstate.book_replica: predecessor %d has no source"
+             pred))
+    inputs;
+  (* Split sources into local supplies and remote legs, preserving the
+     predecessor structure to compute per-predecessor readiness.  Paper,
+     Section 6: when a replica of a predecessor lives on [proc], the other
+     copies of that predecessor do not send to [proc] at all. *)
+  let locals = ref [] in
+  let remote_of_pred =
+    List.map
+      (fun (pred, sources) ->
+        let local_here = List.filter (fun s -> s.s_proc = proc) sources in
+        match local_here with
+        | s :: _ when colocate_exclusive ->
+            locals := (pred, s.s_replica, s.s_finish) :: !locals;
+            (pred, [ s ], [])
+        | s :: _ ->
+            (* keep the local supply but still ship the remote copies *)
+            locals := (pred, s.s_replica, s.s_finish) :: !locals;
+            let remote = List.filter (fun s' -> s'.s_proc <> proc) sources in
+            (pred, sources, remote)
+        | [] -> (pred, sources, sources))
+      inputs
+  in
+  (* Book all remote legs.  Legs are booked in non-decreasing order of
+     source availability, which serializes same-source sends
+     deterministically. *)
+  let all_remote = List.concat_map (fun (_, _, remote) -> remote) remote_of_pred in
+  let all_remote =
+    List.stable_sort
+      (fun a b ->
+        let c = compare a.s_finish b.s_finish in
+        if c <> 0 then c
+        else compare (a.s_proc, a.s_task, a.s_replica) (b.s_proc, b.s_task, b.s_replica))
+      all_remote
+  in
+  let legs =
+    List.map
+      (fun s ->
+        let w = Platform.comm_time t.platform ~src:s.s_proc ~dst:proc ~volume:s.s_volume in
+        let leg_start, leg_finish = book_leg t s.s_proc proc w s.s_finish in
+        (s, w, leg_start, leg_finish))
+      all_remote
+  in
+  (* Serialize arrivals on the receive port in non-decreasing link finish
+     order (equation (6), with the arrival-chaining fix). *)
+  let legs =
+    List.stable_sort
+      (fun (_, _, _, f1) (_, _, _, f2) -> compare f1 f2)
+      legs
+  in
+  let messages =
+    match t.model with
+    | Macro_dataflow ->
+        List.map
+          (fun (s, w, leg_start, leg_finish) ->
+            {
+              m_source = s;
+              m_dst_proc = proc;
+              m_duration = w;
+              m_leg_start = leg_start;
+              m_leg_finish = leg_finish;
+              m_arrival = leg_finish;
+            })
+          legs
+    | One_port | Multiport _ ->
+        (* receive slots, earliest-free first; with one slot this is the
+           paper's serialized RF chain *)
+        List.map
+          (fun (s, w, leg_start, _leg_finish) ->
+            let slot = argmin_slot t.rf.(proc) in
+            let arrival = w +. Float.max t.rf.(proc).(slot) leg_start in
+            t.rf.(proc).(slot) <- arrival;
+            {
+              m_source = s;
+              m_dst_proc = proc;
+              m_duration = w;
+              m_leg_start = leg_start;
+              m_leg_finish = leg_start +. w;
+              m_arrival = arrival;
+            })
+          legs
+  in
+  (* Per-predecessor readiness: the earliest supply of each predecessor
+     ("at least one replica of each predecessor has sent its results"). *)
+  let arrival_of s =
+    let found = ref infinity in
+    List.iter
+      (fun m ->
+        if
+          m.m_source.s_task = s.s_task
+          && m.m_source.s_replica = s.s_replica
+          && m.m_source.s_proc = s.s_proc
+        then found := m.m_arrival)
+      messages;
+    !found
+  in
+  let data_ready =
+    List.fold_left
+      (fun acc (_, sources, remote) ->
+        let local_ready =
+          List.fold_left
+            (fun best s -> if s.s_proc = proc then Float.min best s.s_finish else best)
+            infinity sources
+        in
+        let remote_ready =
+          List.fold_left (fun best s -> Float.min best (arrival_of s)) infinity remote
+        in
+        Float.max acc (Float.min local_ready remote_ready))
+      0. remote_of_pred
+  in
+  let b_start, b_finish = book_exec t proc exec data_ready in
+  { b_start; b_finish; b_messages = messages; b_local = List.rev !locals }

@@ -1,0 +1,260 @@
+exception Parse_error of { line : int; message : string }
+
+let fl x = Printf.sprintf "%.17g" x
+
+let to_string sched =
+  let buf = Buffer.create 4096 in
+  let dag = Schedule.dag sched in
+  let platform = Schedule.platform sched in
+  let costs = Schedule.costs sched in
+  let v = Dag.task_count dag and m = Platform.proc_count platform in
+  Buffer.add_string buf "ftsched-schedule v1\n";
+  Buffer.add_string buf (Printf.sprintf "algorithm %s\n" (Schedule.algorithm sched));
+  Buffer.add_string buf (Printf.sprintf "epsilon %d\n" (Schedule.epsilon sched));
+  Buffer.add_string buf
+    (Printf.sprintf "model %s\n"
+       (match Schedule.model sched with
+       | Netstate.One_port -> "one-port"
+       | Netstate.Macro_dataflow -> "macro-dataflow"
+       | Netstate.Multiport k -> Printf.sprintf "multiport-%d" k));
+  if Schedule.insertion sched then Buffer.add_string buf "insertion true\n";
+  Buffer.add_string buf (Printf.sprintf "tasks %d\n" v);
+  Buffer.add_string buf (Printf.sprintf "procs %d\n" m);
+  for t = 0 to v - 1 do
+    Buffer.add_string buf (Printf.sprintf "task %d %s\n" t (Dag.name dag t))
+  done;
+  Dag.iter_edges
+    (fun src dst vol ->
+      Buffer.add_string buf (Printf.sprintf "edge %d %d %s\n" src dst (fl vol)))
+    dag;
+  for k = 0 to m - 1 do
+    for h = 0 to m - 1 do
+      if k <> h then
+        Buffer.add_string buf
+          (Printf.sprintf "delay %d %d %s\n" k h (fl (Platform.delay platform k h)))
+    done
+  done;
+  for t = 0 to v - 1 do
+    for p = 0 to m - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "cost %d %d %s\n" t p (fl (Costs.exec costs t p)))
+    done
+  done;
+  List.iter
+    (fun (r : Schedule.replica) ->
+      Buffer.add_string buf
+        (Printf.sprintf "replica %d %d %d %s %s\n" r.Schedule.r_task
+           r.Schedule.r_index r.Schedule.r_proc (fl r.Schedule.r_start)
+           (fl r.Schedule.r_finish));
+      List.iter
+        (function
+          | Schedule.Local { l_pred; l_pred_replica; l_finish } ->
+              Buffer.add_string buf
+                (Printf.sprintf "local %d %d %d %d %s\n" r.Schedule.r_task
+                   r.Schedule.r_index l_pred l_pred_replica (fl l_finish))
+          | Schedule.Message msg ->
+              let s = msg.Netstate.m_source in
+              Buffer.add_string buf
+                (Printf.sprintf "message %d %d %d %d %d %s %s %d %s %s %s %s\n"
+                   r.Schedule.r_task r.Schedule.r_index s.Netstate.s_task
+                   s.Netstate.s_replica s.Netstate.s_proc
+                   (fl s.Netstate.s_finish) (fl s.Netstate.s_volume)
+                   msg.Netstate.m_dst_proc (fl msg.Netstate.m_duration)
+                   (fl msg.Netstate.m_leg_start) (fl msg.Netstate.m_leg_finish)
+                   (fl msg.Netstate.m_arrival)))
+        r.Schedule.r_inputs)
+    (Schedule.all_replicas sched);
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let to_file path sched =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string sched))
+
+(* -- parsing ------------------------------------------------------------ *)
+
+type parse_state = {
+  mutable algorithm : string;
+  mutable epsilon : int;
+  mutable insertion : bool;
+  mutable pmodel : Netstate.model;
+  mutable tasks : int;
+  mutable procs : int;
+  mutable names : (int * string) list;
+  mutable edges : (int * int * float) list;
+  mutable delays : (int * int * float) list;
+  mutable costs : (int * int * float) list;
+  (* replicas keyed by (task, idx); supplies accumulated in reverse *)
+  replicas : (int * int, float * float * int) Hashtbl.t;
+  supplies : (int * int, Schedule.supply list) Hashtbl.t;
+}
+
+let of_string text =
+  let st =
+    {
+      algorithm = "?";
+      epsilon = -1;
+      insertion = false;
+      pmodel = Netstate.One_port;
+      tasks = -1;
+      procs = -1;
+      names = [];
+      edges = [];
+      delays = [];
+      costs = [];
+      replicas = Hashtbl.create 64;
+      supplies = Hashtbl.create 64;
+    }
+  in
+  let fail line message = raise (Parse_error { line; message }) in
+  let int_of line s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> fail line (Printf.sprintf "expected integer, got %S" s)
+  in
+  let float_of line s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> fail line (Printf.sprintf "expected float, got %S" s)
+  in
+  let saw_end = ref false in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim raw in
+      if line <> "" && not !saw_end then begin
+        let words =
+          String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+        in
+        match words with
+        | [ "ftsched-schedule"; "v1" ] when lineno = 1 -> ()
+        | _ when lineno = 1 -> fail lineno "missing header 'ftsched-schedule v1'"
+        | [ "algorithm"; name ] -> st.algorithm <- name
+        | [ "epsilon"; e ] -> st.epsilon <- int_of lineno e
+        | [ "insertion"; "true" ] -> st.insertion <- true
+        | [ "insertion"; "false" ] -> st.insertion <- false
+        | [ "model"; "one-port" ] -> st.pmodel <- Netstate.One_port
+        | [ "model"; "macro-dataflow" ] -> st.pmodel <- Netstate.Macro_dataflow
+        | [ "model"; other ]
+          when String.length other > 10 && String.sub other 0 10 = "multiport-" -> (
+            match int_of_string_opt (String.sub other 10 (String.length other - 10)) with
+            | Some k when k >= 1 -> st.pmodel <- Netstate.Multiport k
+            | _ -> fail lineno ("bad multiport model " ^ other))
+        | [ "model"; other ] -> fail lineno ("unknown model " ^ other)
+        | [ "tasks"; n ] -> st.tasks <- int_of lineno n
+        | [ "procs"; n ] -> st.procs <- int_of lineno n
+        | [ "task"; id; name ] -> st.names <- (int_of lineno id, name) :: st.names
+        | [ "edge"; src; dst; vol ] ->
+            st.edges <-
+              (int_of lineno src, int_of lineno dst, float_of lineno vol)
+              :: st.edges
+        | [ "delay"; k; h; d ] ->
+            st.delays <-
+              (int_of lineno k, int_of lineno h, float_of lineno d) :: st.delays
+        | [ "cost"; t; p; c ] ->
+            st.costs <-
+              (int_of lineno t, int_of lineno p, float_of lineno c) :: st.costs
+        | [ "replica"; task; idx; proc; start; finish ] ->
+            Hashtbl.replace st.replicas
+              (int_of lineno task, int_of lineno idx)
+              (float_of lineno start, float_of lineno finish, int_of lineno proc)
+        | [ "local"; task; idx; pred; pidx; finish ] ->
+            let key = (int_of lineno task, int_of lineno idx) in
+            let supply =
+              Schedule.Local
+                {
+                  l_pred = int_of lineno pred;
+                  l_pred_replica = int_of lineno pidx;
+                  l_finish = float_of lineno finish;
+                }
+            in
+            Hashtbl.replace st.supplies key
+              (supply :: Option.value (Hashtbl.find_opt st.supplies key) ~default:[])
+        | [
+         "message"; task; idx; pred; pidx; sproc; sfinish; volume; dst; dur;
+         lstart; lfinish; arrival;
+        ] ->
+            let key = (int_of lineno task, int_of lineno idx) in
+            let supply =
+              Schedule.Message
+                {
+                  Netstate.m_source =
+                    {
+                      Netstate.s_task = int_of lineno pred;
+                      s_replica = int_of lineno pidx;
+                      s_proc = int_of lineno sproc;
+                      s_finish = float_of lineno sfinish;
+                      s_volume = float_of lineno volume;
+                    };
+                  m_dst_proc = int_of lineno dst;
+                  m_duration = float_of lineno dur;
+                  m_leg_start = float_of lineno lstart;
+                  m_leg_finish = float_of lineno lfinish;
+                  m_arrival = float_of lineno arrival;
+                }
+            in
+            Hashtbl.replace st.supplies key
+              (supply :: Option.value (Hashtbl.find_opt st.supplies key) ~default:[])
+        | [ "end" ] -> saw_end := true
+        | w :: _ -> fail lineno ("unknown directive " ^ w)
+        | [] -> ()
+      end)
+    lines;
+  if not !saw_end then fail (List.length lines) "missing 'end'";
+  if st.tasks < 0 then fail 0 "missing 'tasks'";
+  if st.procs < 1 then fail 0 "missing 'procs'";
+  if st.epsilon < 0 then fail 0 "missing 'epsilon'";
+  (* rebuild the instance *)
+  let names = Array.make st.tasks "" in
+  List.iter
+    (fun (id, name) ->
+      if id < 0 || id >= st.tasks then fail 0 "task id out of range";
+      names.(id) <- name)
+    st.names;
+  let dag = Dag.make ~names ~n:st.tasks ~edges:(List.rev st.edges) () in
+  let delays = Array.make_matrix st.procs st.procs 0. in
+  List.iter
+    (fun (k, h, d) ->
+      if k < 0 || k >= st.procs || h < 0 || h >= st.procs then
+        fail 0 "delay endpoint out of range";
+      delays.(k).(h) <- d)
+    st.delays;
+  let platform = Platform.create ~delays in
+  let matrix = Array.make_matrix st.tasks st.procs 0. in
+  List.iter
+    (fun (t, p, c) ->
+      if t < 0 || t >= st.tasks || p < 0 || p >= st.procs then
+        fail 0 "cost index out of range";
+      matrix.(t).(p) <- c)
+    st.costs;
+  let costs = Costs.of_matrix dag platform matrix in
+  let replicas =
+    Hashtbl.fold
+      (fun (task, idx) (start, finish, proc) acc ->
+        {
+          Schedule.r_task = task;
+          r_index = idx;
+          r_proc = proc;
+          r_start = start;
+          r_finish = finish;
+          r_inputs =
+            List.rev
+              (Option.value (Hashtbl.find_opt st.supplies (task, idx)) ~default:[]);
+        }
+        :: acc)
+      st.replicas []
+  in
+  Schedule.create ~insertion:st.insertion ~algorithm:st.algorithm
+    ~epsilon:st.epsilon ~model:st.pmodel ~costs replicas
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      really_input_string ic len)
+  |> of_string

@@ -1,0 +1,41 @@
+(** Plain-text serialization of instances and schedules.
+
+    The format is line-oriented and self-contained: it carries the task
+    graph (names, edges, volumes), the platform (unit delays), the cost
+    matrix and every replica with its supplies, so a schedule can be
+    saved, inspected with standard text tools, diffed across runs, and
+    reloaded later for replay or validation without regenerating the
+    instance.
+
+    {v
+ftsched-schedule v1
+algorithm CAFT
+epsilon 1
+model one-port
+tasks 4
+procs 3
+task 0 load
+edge 0 1 80
+delay 0 1 0.5
+cost 0 0 60
+replica 0 0 2 0 60
+local 1 0 0 0 60
+message 1 1 0 0 2 60 80 1 40 60 100 100
+end
+    v}
+
+    Floating-point fields are printed with enough digits ([%.17g]) to
+    round-trip exactly. *)
+
+val to_string : Schedule.t -> string
+
+val to_file : string -> Schedule.t -> unit
+
+exception Parse_error of { line : int; message : string }
+
+val of_string : string -> Schedule.t
+(** Rebuilds the costs and the schedule.  Raises {!Parse_error} on
+    malformed input and [Invalid_argument] if the payload violates the
+    shape checks of {!Schedule.create} (e.g. duplicated replicas). *)
+
+val of_file : string -> Schedule.t

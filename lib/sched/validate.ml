@@ -1,0 +1,301 @@
+type violation = { check : string; detail : string }
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.check v.detail
+
+let overlap_violations ~check ~describe intervals =
+  (* [intervals]: (start, finish, payload) list.  Zero-length intervals
+     never conflict. *)
+  let sorted =
+    List.sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) intervals
+  in
+  (* Sweep with the furthest finish seen so far, so containment of several
+     later intervals is also caught. *)
+  let rec go acc frontier = function
+    | [] -> acc
+    | (s, f, p) :: rest ->
+        let acc =
+          match frontier with
+          | Some (fmax, pmax) when fmax > s +. Flt.eps && f > s +. Flt.eps ->
+              {
+                check;
+                detail =
+                  Printf.sprintf "%s overlaps %s (running until %.6f, next starts %.6f)"
+                    (describe pmax) (describe p) fmax s;
+              }
+              :: acc
+          | _ -> acc
+        in
+        let frontier =
+          match frontier with
+          | Some (fmax, _) when fmax >= f -> frontier
+          | _ -> Some (f, p)
+        in
+        go acc frontier rest
+  in
+  go [] None sorted
+
+(* at most [capacity] of the intervals may overlap at any instant;
+   zero-length intervals never conflict *)
+let depth_violations ~capacity ~check ~describe intervals =
+  if capacity = 1 then overlap_violations ~check ~describe intervals
+  else begin
+    let events =
+      List.concat_map
+        (fun (s, f, p) ->
+          if f -. s <= Flt.eps then []
+          else [ (s +. Flt.eps, 1, (s, f, p)); (f -. Flt.eps, -1, (s, f, p)) ])
+        intervals
+    in
+    let events = List.sort (fun (t1, d1, _) (t2, d2, _) -> compare (t1, d1) (t2, d2)) events in
+    let depth = ref 0 in
+    let bad = ref [] in
+    List.iter
+      (fun (_, d, (s, f, p)) ->
+        depth := !depth + d;
+        if d > 0 && !depth > capacity then
+          bad :=
+            {
+              check;
+              detail =
+                Printf.sprintf "%s exceeds port capacity %d ([%.6f,%.6f])"
+                  (describe p) capacity s f;
+            }
+            :: !bad)
+      events;
+    !bad
+  end
+
+let describe_replica (r : Schedule.replica) =
+  Printf.sprintf "task %d replica %d on P%d" r.Schedule.r_task r.Schedule.r_index
+    r.Schedule.r_proc
+
+let describe_message (m : Netstate.message) =
+  Printf.sprintf "msg t%d[%d] P%d->P%d" m.Netstate.m_source.Netstate.s_task
+    m.Netstate.m_source.Netstate.s_replica m.Netstate.m_source.Netstate.s_proc
+    m.Netstate.m_dst_proc
+
+let run ?fabric sched =
+  let open Schedule in
+  let fabric =
+    match fabric with
+    | Some f -> f
+    | None ->
+        Netstate.clique_fabric (Platform.proc_count (Schedule.platform sched))
+  in
+  let dag = Schedule.dag sched in
+  let costs = Schedule.costs sched in
+  let violations = ref [] in
+  let add check fmt = Printf.ksprintf (fun detail -> violations := { check; detail } :: !violations) fmt in
+
+  (* 1. Execution intervals on each processor are disjoint. *)
+  List.iter
+    (fun p ->
+      let intervals =
+        List.map (fun r -> (r.r_start, r.r_finish, r)) (on_proc sched p)
+      in
+      violations :=
+        overlap_violations ~check:"proc-exclusive" ~describe:describe_replica
+          intervals
+        @ !violations)
+    (Platform.procs (Schedule.platform sched));
+
+  (* 2. Durations match the cost matrix; starts are non-negative. *)
+  List.iter
+    (fun r ->
+      let expected = Costs.exec costs r.r_task r.r_proc in
+      if not (Flt.approx_eq ~tol:1e-6 (r.r_finish -. r.r_start) expected) then
+        add "duration" "%s lasts %.6f, cost matrix says %.6f"
+          (describe_replica r) (r.r_finish -. r.r_start) expected;
+      if r.r_start < -.Flt.eps then
+        add "start-time" "%s starts before time zero (%.6f)"
+          (describe_replica r) r.r_start)
+    (all_replicas sched);
+
+  (* 3. Supplies: well-formed and causally consistent. *)
+  let replica_finish task idx =
+    let rs = replicas sched task in
+    if idx < 0 || idx >= Array.length rs then None else Some rs.(idx)
+  in
+  List.iter
+    (fun r ->
+      let preds = Dag.pred_tasks dag r.r_task in
+      (* every predecessor covered by at least one supply *)
+      List.iter
+        (fun pred ->
+          let covered =
+            List.exists
+              (function
+                | Local l -> l.l_pred = pred
+                | Message m -> m.Netstate.m_source.Netstate.s_task = pred)
+              r.r_inputs
+          in
+          if not covered then
+            add "missing-input" "%s has no supply for predecessor %d"
+              (describe_replica r) pred)
+        preds;
+      (* per-predecessor readiness: at least one supply per pred must be
+         delivered by the replica start *)
+      List.iter
+        (fun pred ->
+          let readies =
+            List.filter_map
+              (function
+                | Local l when l.l_pred = pred -> Some l.l_finish
+                | Message m when m.Netstate.m_source.Netstate.s_task = pred ->
+                    Some m.Netstate.m_arrival
+                | Local _ | Message _ -> None)
+              r.r_inputs
+          in
+          match readies with
+          | [] -> () (* reported above *)
+          | _ ->
+              let earliest = Flt.min_list readies in
+              if not (Flt.leq ~tol:1e-6 earliest r.r_start) then
+                add "precedence" "%s starts at %.6f before data from %d (ready %.6f)"
+                  (describe_replica r) r.r_start pred earliest)
+        preds;
+      List.iter
+        (function
+          | Local l -> (
+              if not (Dag.mem_edge dag ~src:l.l_pred ~dst:r.r_task) then
+                add "supply-edge" "%s consumes non-edge %d->%d"
+                  (describe_replica r) l.l_pred r.r_task;
+              match replica_finish l.l_pred l.l_pred_replica with
+              | None ->
+                  add "supply-replica" "%s: local supply from unknown replica"
+                    (describe_replica r)
+              | Some src ->
+                  if src.r_proc <> r.r_proc then
+                    add "local-colocation"
+                      "%s: local supply from t%d[%d] on different proc P%d"
+                      (describe_replica r) l.l_pred l.l_pred_replica src.r_proc;
+                  if not (Flt.approx_eq ~tol:1e-6 src.r_finish l.l_finish) then
+                    add "local-finish"
+                      "%s: local supply finish %.6f but source finishes %.6f"
+                      (describe_replica r) l.l_finish src.r_finish)
+          | Message m -> (
+              let s = m.Netstate.m_source in
+              if not (Dag.mem_edge dag ~src:s.Netstate.s_task ~dst:r.r_task) then
+                add "supply-edge" "%s consumes non-edge %d->%d"
+                  (describe_replica r) s.Netstate.s_task r.r_task;
+              if m.Netstate.m_dst_proc <> r.r_proc then
+                add "message-dst" "%s: message destined to P%d"
+                  (describe_replica r) m.Netstate.m_dst_proc;
+              if s.Netstate.s_proc = r.r_proc then
+                add "message-loop" "%s: message from its own processor"
+                  (describe_replica r);
+              match replica_finish s.Netstate.s_task s.Netstate.s_replica with
+              | None ->
+                  add "supply-replica" "%s: message from unknown replica"
+                    (describe_replica r)
+              | Some src ->
+                  if src.r_proc <> s.Netstate.s_proc then
+                    add "message-src-proc"
+                      "%s: message says source on P%d but replica is on P%d"
+                      (describe_replica r) s.Netstate.s_proc src.r_proc;
+                  if not (Flt.leq ~tol:1e-6 src.r_finish m.Netstate.m_leg_start)
+                  then
+                    add "message-causality"
+                      "%s: leg starts %.6f before source finish %.6f"
+                      (describe_replica r) m.Netstate.m_leg_start src.r_finish;
+                  if
+                    not
+                      (Flt.leq ~tol:1e-6 m.Netstate.m_leg_finish
+                         m.Netstate.m_arrival)
+                  then
+                    add "message-arrival"
+                      "%s: arrival %.6f precedes link finish %.6f"
+                      (describe_replica r) m.Netstate.m_arrival
+                      m.Netstate.m_leg_finish;
+                  let expected_w =
+                    Platform.comm_time (Schedule.platform sched)
+                      ~src:s.Netstate.s_proc ~dst:r.r_proc
+                      ~volume:s.Netstate.s_volume
+                  in
+                  if not (Flt.approx_eq ~tol:1e-6 expected_w m.Netstate.m_duration)
+                  then
+                    add "message-duration"
+                      "%s: duration %.6f but volume*delay is %.6f"
+                      (describe_replica r) m.Netstate.m_duration expected_w))
+        r.r_inputs)
+    (all_replicas sched);
+
+  (* 4. Port and link constraints: inequalities (1)-(3) for the one-port
+     model, generalized to depth-k occupancy for the bounded multi-port
+     model. *)
+  (match Schedule.model sched with
+   | Netstate.Macro_dataflow -> ()
+   | Netstate.One_port | Netstate.Multiport _ ->
+     let capacity =
+       match Schedule.model sched with
+       | Netstate.Multiport k -> max 1 k
+       | Netstate.One_port | Netstate.Macro_dataflow -> 1
+     in
+     let msgs = messages sched in
+     let m = Platform.proc_count (Schedule.platform sched) in
+     (* sending constraint (2): at most [capacity] concurrent legs *)
+     for p = 0 to m - 1 do
+       let legs =
+         List.filter_map
+           (fun msg ->
+             if msg.Netstate.m_source.Netstate.s_proc = p then
+               Some (msg.Netstate.m_leg_start, msg.Netstate.m_leg_finish, msg)
+             else None)
+           msgs
+       in
+       violations :=
+         depth_violations ~capacity ~check:"one-port-send"
+           ~describe:describe_message legs
+         @ !violations
+     done;
+     (* receiving constraint (3): at most [capacity] concurrent windows *)
+     for p = 0 to m - 1 do
+       let windows =
+         List.filter_map
+           (fun msg ->
+             if msg.Netstate.m_dst_proc = p then
+               Some
+                 ( msg.Netstate.m_arrival -. msg.Netstate.m_duration,
+                   msg.Netstate.m_arrival,
+                   msg )
+             else None)
+           msgs
+       in
+       violations :=
+         depth_violations ~capacity ~check:"one-port-recv"
+           ~describe:describe_message windows
+         @ !violations
+     done;
+     (* link constraint (1), per physical link of the fabric *)
+     let per_phys = Array.make fabric.Netstate.phys_count [] in
+     List.iter
+       (fun msg ->
+         let src = msg.Netstate.m_source.Netstate.s_proc in
+         let dst = msg.Netstate.m_dst_proc in
+         List.iter
+           (fun l ->
+             per_phys.(l) <-
+               (msg.Netstate.m_leg_start, msg.Netstate.m_leg_finish, msg)
+               :: per_phys.(l))
+           (fabric.Netstate.route src dst))
+       msgs;
+     Array.iter
+       (fun legs ->
+         violations :=
+           overlap_violations ~check:"one-port-link" ~describe:describe_message
+             legs
+           @ !violations)
+       per_phys);
+  List.rev !violations
+
+let is_valid ?fabric sched = run ?fabric sched = []
+
+let check_exn ?fabric sched =
+  match run ?fabric sched with
+  | [] -> ()
+  | vs ->
+      let msg =
+        String.concat "\n"
+          (List.map (fun v -> Format.asprintf "%a" pp_violation v) vs)
+      in
+      failwith ("invalid schedule:\n" ^ msg)

@@ -1,0 +1,31 @@
+(** Static validation of fault-tolerant schedules.
+
+    Checks that a schedule is {e valid} in the sense of Section 5 of the
+    paper: tasks respect precedence through recorded supplies, replicas of
+    one task occupy distinct processors, execution durations match the
+    cost matrix, no processor computes two tasks at once, and — under the
+    one-port model — inequalities (1), (2) and (3) hold: link legs on a
+    directed link never overlap, the messages leaving a processor are
+    serialized on its send port, and the messages entering a processor are
+    serialized on its receive port.
+
+    Fault-tolerance itself (the schedule survives any [epsilon] crashes)
+    is a dynamic property checked by [Ftsched_sim.Fault_check]. *)
+
+type violation = {
+  check : string;  (** short identifier of the violated rule *)
+  detail : string;  (** human-readable description with times and ids *)
+}
+
+val run : ?fabric:Netstate.fabric -> Schedule.t -> violation list
+(** All violations; the empty list means the schedule is valid.  When the
+    schedule was built over a sparse interconnect, pass the same [fabric]
+    so the link constraint (1) is checked per {e physical} link (routes
+    sharing a link must not overlap); the default is the clique fabric. *)
+
+val is_valid : ?fabric:Netstate.fabric -> Schedule.t -> bool
+
+val check_exn : ?fabric:Netstate.fabric -> Schedule.t -> unit
+(** Raises [Failure] listing every violation, if any. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,112 @@
+type t = {
+  net : Netstate.t;
+  costs : Costs.t;
+  epsilon : int;
+  placed : Schedule.replica list array;  (* per task, reverse placement order *)
+}
+
+let create ?model ?fabric ?insertion ~epsilon costs =
+  if epsilon < 0 then invalid_arg "Workspace.create: negative epsilon";
+  let platform = Costs.platform costs in
+  if epsilon >= Platform.proc_count platform then
+    invalid_arg
+      "Workspace.create: need at least epsilon+1 processors for replication";
+  {
+    net = Netstate.create ?model ?fabric ?insertion platform;
+    costs;
+    epsilon;
+    placed = Array.make (Dag.task_count (Costs.dag costs)) [];
+  }
+
+let net t = t.net
+let costs t = t.costs
+let dag t = Costs.dag t.costs
+let platform t = Costs.platform t.costs
+let epsilon t = t.epsilon
+let placed t task = List.rev t.placed.(task)
+let placed_count t task = List.length t.placed.(task)
+
+let procs_of t task =
+  List.rev_map (fun r -> r.Schedule.r_proc) t.placed.(task)
+
+let is_placed_on t task proc =
+  List.exists (fun r -> r.Schedule.r_proc = proc) t.placed.(task)
+
+let source_of_replica _t (r : Schedule.replica) ~volume =
+  {
+    Netstate.s_task = r.Schedule.r_task;
+    s_replica = r.Schedule.r_index;
+    s_proc = r.Schedule.r_proc;
+    s_finish = r.Schedule.r_finish;
+    s_volume = volume;
+  }
+
+let sources_all t task =
+  let g = dag t in
+  Array.to_list
+    (Array.map
+       (fun (pred, volume) ->
+         match placed t pred with
+         | [] ->
+             invalid_arg
+               (Printf.sprintf
+                  "Workspace.sources_all: predecessor %d of %d unplaced" pred
+                  task)
+         | rs -> (pred, List.map (fun r -> source_of_replica t r ~volume) rs))
+       (Dag.preds g task))
+
+let sources_chosen t task chosen =
+  let g = dag t in
+  Array.to_list
+    (Array.map
+       (fun (pred, volume) ->
+         match List.assoc_opt pred chosen with
+         | None ->
+             invalid_arg
+               (Printf.sprintf
+                  "Workspace.sources_chosen: no choice for predecessor %d of %d"
+                  pred task)
+         | Some r -> (pred, [ source_of_replica t r ~volume ]))
+       (Dag.preds g task))
+
+let supplies_of_booked (b : Netstate.booked) =
+  List.map (fun m -> Schedule.Message m) b.Netstate.b_messages
+  @ List.map
+      (fun (pred, idx, finish) ->
+        Schedule.Local { l_pred = pred; l_pred_replica = idx; l_finish = finish })
+      b.Netstate.b_local
+
+let place_unbooked t ~task ~proc ~start ~finish ~inputs =
+  let index = List.length t.placed.(task) in
+  if index > t.epsilon then
+    invalid_arg "Workspace.place: task already fully replicated";
+  let r =
+    {
+      Schedule.r_task = task;
+      r_index = index;
+      r_proc = proc;
+      r_start = start;
+      r_finish = finish;
+      r_inputs = inputs;
+    }
+  in
+  t.placed.(task) <- r :: t.placed.(task);
+  r
+
+let place t ~task ~proc (b : Netstate.booked) =
+  place_unbooked t ~task ~proc ~start:b.Netstate.b_start
+    ~finish:b.Netstate.b_finish ~inputs:(supplies_of_booked b)
+
+let completion_lower t task =
+  match t.placed.(task) with
+  | [] -> invalid_arg "Workspace.completion_lower: no replica placed"
+  | rs -> List.fold_left (fun acc r -> Float.min acc r.Schedule.r_finish) infinity rs
+
+let to_schedule ~algorithm t =
+  let replicas =
+    Array.to_list t.placed |> List.concat_map (fun rs -> List.rev rs)
+  in
+  Schedule.create
+    ~insertion:(Netstate.insertion t.net)
+    ~algorithm ~epsilon:t.epsilon ~model:(Netstate.model t.net) ~costs:t.costs
+    replicas

@@ -1,0 +1,78 @@
+(** Mutable scheduling workspace shared by all schedulers.
+
+    Couples a {!Netstate.t} with the set of replicas placed so far and
+    turns the result into a {!Schedule.t} at the end.  The workspace also
+    builds the canonical source lists:
+
+    - {!sources_all}: every placed replica of every predecessor — the
+      replication scheme of FTSA and FTBAR (and CAFT's fallback loop),
+      where each replica communicates with all replicas of its
+      predecessors;
+    - {!sources_chosen}: exactly one designated replica per predecessor —
+      CAFT's one-to-one scheme. *)
+
+type t
+
+val create :
+  ?model:Netstate.model ->
+  ?fabric:Netstate.fabric ->
+  ?insertion:bool ->
+  epsilon:int ->
+  Costs.t ->
+  t
+(** Empty workspace over a fresh network state.  [fabric] selects a
+    sparse interconnect (defaults to the clique); [insertion] enables
+    gap-filling execution bookings (see {!Netstate.create}). *)
+
+val net : t -> Netstate.t
+val costs : t -> Costs.t
+val dag : t -> Dag.t
+val platform : t -> Platform.t
+val epsilon : t -> int
+
+val placed : t -> Dag.task -> Schedule.replica list
+(** Replicas of a task placed so far, in placement order. *)
+
+val placed_count : t -> Dag.task -> int
+
+val procs_of : t -> Dag.task -> Platform.proc list
+(** Processors hosting a replica of the task. *)
+
+val is_placed_on : t -> Dag.task -> Platform.proc -> bool
+
+val source_of_replica : t -> Schedule.replica -> volume:float -> Netstate.source
+(** View a placed replica as a data source shipping [volume] units. *)
+
+val sources_all : t -> Dag.task -> (Dag.task * Netstate.source list) list
+(** For each predecessor of the task, all its placed replicas.  Raises
+    [Invalid_argument] if some predecessor has no placed replica yet (the
+    task was not free). *)
+
+val sources_chosen :
+  t -> Dag.task -> (Dag.task * Schedule.replica) list ->
+  (Dag.task * Netstate.source list) list
+(** For each predecessor, the single designated replica.  The association
+    list must cover every predecessor exactly once. *)
+
+val place :
+  t -> task:Dag.task -> proc:Platform.proc -> Netstate.booked -> Schedule.replica
+(** Record a booked replica (the booking must have been committed on
+    {!net}).  The replica index is the number of copies of the task placed
+    before.  Returns the created record. *)
+
+val place_unbooked :
+  t ->
+  task:Dag.task ->
+  proc:Platform.proc ->
+  start:float ->
+  finish:float ->
+  inputs:Schedule.supply list ->
+  Schedule.replica
+(** Low-level variant for schedulers that book by hand. *)
+
+val completion_lower : t -> Dag.task -> float
+(** Earliest finish among the placed replicas of the task (the optimistic
+    completion used to refresh successor priorities). *)
+
+val to_schedule : algorithm:string -> t -> Schedule.t
+(** Freeze into a schedule; same shape checks as {!Schedule.create}. *)

@@ -1,0 +1,67 @@
+type report = {
+  resists : bool;
+  scenarios_checked : int;
+  exhaustive : bool;
+  counterexample : (Platform.proc list * Dag.task list) option;
+  worst_latency : float;
+}
+
+let combinations n k =
+  (* lazily enumerate increasing k-subsets of [0, n-1] *)
+  let rec from lo k () =
+    if k = 0 then Seq.Cons ([], Seq.empty)
+    else if lo > n - k then Seq.Nil
+    else
+      Seq.append
+        (Seq.map (fun rest -> lo :: rest) (from (lo + 1) (k - 1)))
+        (from (lo + 1) k)
+        ()
+  in
+  if k < 0 || k > n then Seq.empty else from 0 k
+
+let count_combinations n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let rec go acc i =
+      if i > k then acc
+      else
+        let acc' = acc * (n - k + i) / i in
+        if acc' < acc then max_int (* overflow *) else go acc' (i + 1)
+    in
+    go 1 1
+  end
+
+let check ?(max_exhaustive = 20000) ?(samples = 1000) ?(seed = 7) ~epsilon sched =
+  let m = Platform.proc_count (Schedule.platform sched) in
+  let epsilon = min epsilon m in
+  let total = count_combinations m epsilon in
+  let exhaustive = total <= max_exhaustive in
+  let scenarios =
+    if exhaustive then combinations m epsilon
+    else begin
+      let rng = Rng.create seed in
+      Seq.init samples (fun _ -> Rng.sample_without_replacement rng epsilon m)
+    end
+  in
+  let checked = ref 0 in
+  let counterexample = ref None in
+  let worst = ref nan in
+  Seq.iter
+    (fun crashed ->
+      if !counterexample = None then begin
+        incr checked;
+        let out = Replay.crash_from_start sched ~crashed in
+        if not out.Replay.completed then
+          counterexample := Some (crashed, out.Replay.failed_tasks)
+        else if Float.is_nan !worst || out.Replay.latency > !worst then
+          worst := out.Replay.latency
+      end)
+    scenarios;
+  {
+    resists = !counterexample = None;
+    scenarios_checked = !checked;
+    exhaustive;
+    counterexample = !counterexample;
+    worst_latency = !worst;
+  }

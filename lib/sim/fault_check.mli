@@ -1,0 +1,43 @@
+(** Dynamic fault-tolerance verification (Proposition 5.2 in executable
+    form).
+
+    A schedule {e resists} [epsilon] failures when, for every set of at
+    most [epsilon] crashed processors, the replay still completes every
+    task.  Completion is monotone in the crash set (crashing one more
+    processor can only remove supplies), so checking all subsets of size
+    exactly [epsilon] is sufficient; this module enumerates them
+    exhaustively when the count is reasonable and falls back to random
+    sampling otherwise. *)
+
+type report = {
+  resists : bool;
+  scenarios_checked : int;
+  exhaustive : bool;  (** whether all size-[epsilon] subsets were tried *)
+  counterexample : (Platform.proc list * Dag.task list) option;
+      (** a crash set that starves tasks, with the starved tasks *)
+  worst_latency : float;
+      (** largest real execution time over the completed scenarios
+          checked; [nan] if none completed *)
+}
+
+val check :
+  ?max_exhaustive:int ->
+  ?samples:int ->
+  ?seed:int ->
+  epsilon:int ->
+  Schedule.t ->
+  report
+(** [check ~epsilon sched] verifies [epsilon]-fault tolerance.  If the
+    number of size-[epsilon] crash sets is at most [max_exhaustive]
+    (default 20000), enumeration is exhaustive; otherwise [samples]
+    (default 1000) random subsets are drawn with [seed] (default 7).
+    [epsilon] may differ from the schedule's replication degree — e.g. to
+    show that an [epsilon]-replicated schedule does {e not} in general
+    resist [epsilon + 1] failures. *)
+
+val combinations : int -> int -> int list Seq.t
+(** [combinations n k] enumerates all increasing [k]-subsets of
+    [\[0, n-1\]] (exposed for tests). *)
+
+val count_combinations : int -> int -> int
+(** Binomial coefficient, saturating at [max_int]. *)

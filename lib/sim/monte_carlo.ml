@@ -1,0 +1,59 @@
+type mode = From_start | Timed of float
+
+type report = {
+  runs : int;
+  completed : int;
+  latency : Stats.summary option;
+  worst_slowdown : float;
+  failure_rate : float;
+}
+
+let run ?(seed = 20) ?(runs = 1000) ?fabric ~crashes ~mode sched =
+  if runs < 1 then invalid_arg "Monte_carlo.run: runs < 1";
+  let rng = Rng.create seed in
+  let m = Platform.proc_count (Schedule.platform sched) in
+  let l0 = Schedule.latency_zero_crash sched in
+  let latencies = ref [] in
+  let completed = ref 0 in
+  for _ = 1 to runs do
+    let out =
+      match mode with
+      | From_start ->
+          let crashed = Scenario.uniform_procs rng ~m ~count:crashes in
+          Replay.crash_from_start ?fabric sched ~crashed
+      | Timed horizon ->
+          let scenario = Scenario.timed rng ~m ~count:crashes ~horizon in
+          Replay.crash_timed ?fabric sched ~crashes:scenario
+    in
+    if out.Replay.completed then begin
+      incr completed;
+      latencies := out.Replay.latency :: !latencies
+    end
+  done;
+  let latency =
+    match !latencies with [] -> None | ls -> Some (Stats.summarize ls)
+  in
+  {
+    runs;
+    completed = !completed;
+    latency;
+    worst_slowdown =
+      (match latency with
+      | Some s when l0 > 0. -> s.Stats.max /. l0
+      | _ -> nan);
+    failure_rate = float_of_int (runs - !completed) /. float_of_int runs;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>%d/%d runs completed (failure rate %.2f%%)@,%a@]" r.completed r.runs
+    (100. *. r.failure_rate)
+    (fun ppf -> function
+      | None -> Format.fprintf ppf "no completed run"
+      | Some s ->
+          Format.fprintf ppf
+            "latency: mean %.3f, median %.3f, min %.3f, max %.3f (worst \
+             slowdown %.2fx)"
+            s.Stats.mean s.Stats.median s.Stats.min s.Stats.max
+            r.worst_slowdown)
+    r.latency

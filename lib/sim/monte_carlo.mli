@@ -1,0 +1,36 @@
+(** Monte-Carlo fault-injection campaigns over a single schedule.
+
+    Draws many random crash scenarios (from-start or timed), replays each
+    one, and aggregates the real execution times — the dynamic counterpart
+    of the static bounds, used by the examples and the CLI. *)
+
+type mode =
+  | From_start  (** crashed processors are dead from time zero *)
+  | Timed of float
+      (** each crashed processor dies at a uniform instant in
+          [\[0, horizon)], where horizon is the given value (use the
+          schedule makespan for full coverage) *)
+
+type report = {
+  runs : int;
+  completed : int;  (** runs in which every task produced a result *)
+  latency : Stats.summary option;  (** over the completed runs; [None] if none *)
+  worst_slowdown : float;
+      (** max completed latency / zero-crash latency; [nan] if none *)
+  failure_rate : float;  (** fraction of runs that lost a task *)
+}
+
+val run :
+  ?seed:int ->
+  ?runs:int ->
+  ?fabric:Netstate.fabric ->
+  crashes:int ->
+  mode:mode ->
+  Schedule.t ->
+  report
+(** [run ~crashes ~mode sched] replays [runs] (default 1000) scenarios,
+    each crashing [crashes] distinct processors chosen uniformly.  With
+    [mode = From_start] and [crashes <= epsilon] on a fault-tolerant
+    schedule, [failure_rate] is [0.] by Proposition 5.2. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,100 @@
+(** Fail-stop execution replay of a static schedule.
+
+    Section 6 of the paper compares the algorithms "when processors crash
+    down by computing the real execution time for a given schedule rather
+    than just bounds".  This module is that computation: a deterministic
+    discrete-event replay of a {!Schedule.t} under a crash scenario.
+
+    Semantics:
+
+    - processors are {e fail-silent}: a crashed processor computes nothing
+      and sends nothing (results already delivered before a timed crash
+      remain valid);
+    - surviving resources keep the {e static order} of their work: a
+      processor executes its replicas, and each port/link carries its
+      messages, in the order of the static schedule (skipping dead items);
+    - durations are the static ones, but start times are recomputed: a
+      replica starts when its processor is free {e and}, for every
+      predecessor task, at least one supply (co-located replica finish or
+      message arrival) has been delivered — the paper's "as soon as it
+      receives its input data from [one replica], the task is executed and
+      ignores the later incoming data";
+    - a replica none of whose supplies survive for some predecessor is
+      {e starved}: it never runs (the runtime cancels it), freeing its
+      processor time;
+    - messages whose destination is crashed are still emitted (the static
+      sender does not know) and occupy the send port and link; messages
+      whose {e source} is dead are never emitted and free all their
+      resources.
+
+    Under the one-port model the replay keeps port serialization; under
+    macro-dataflow, messages leave at source completion and arrive [W]
+    later with no port queuing — exactly the models used at scheduling
+    time.  For schedules built over a sparse interconnect, pass the same
+    [fabric] so physical-link contention is replayed faithfully (default:
+    the clique fabric).
+
+    Schedules built with the {e insertion} policy
+    ([Schedule.insertion = true]) get a work-conserving processor model
+    instead of the strict static order: a gap-filled replica may precede,
+    on its processor, a replica that was scheduled earlier, so freezing
+    the static order could deadlock against the (spare) input messages of
+    the gap-filled replica.  Their replicas are therefore placed into the
+    earliest dynamic idle gap once their data is ready, in static-start
+    priority order — deterministic, and never slower than the plan when
+    nothing fails. *)
+
+type replica_outcome =
+  | Ran of { start : float; finish : float }
+  | Crashed  (** processor in the crash scenario, or died mid-execution *)
+  | Starved of Dag.task
+      (** never ran: no surviving supply for this predecessor *)
+
+type outcome = {
+  completed : bool;
+      (** at least one replica of every task produced its result *)
+  latency : float;
+      (** the real execution time: latest over tasks of the earliest
+          surviving replica completion; [nan] if not [completed] *)
+  failed_tasks : Dag.task list;
+      (** tasks with no surviving completed replica *)
+  replicas : replica_outcome array array;
+      (** dynamic outcome per task, per replica index *)
+}
+
+val crash_from_start :
+  ?fabric:Netstate.fabric ->
+  ?dead_links:(Platform.proc * Platform.proc) list ->
+  Schedule.t ->
+  crashed:Platform.proc list ->
+  outcome
+(** Replay with the given processors dead from time zero (the adversarial
+    model of the paper: tolerating [epsilon] arbitrary failures).
+    Duplicate processors in [crashed] are ignored. *)
+
+val crash_timed :
+  ?fabric:Netstate.fabric ->
+  ?dead_links:(Platform.proc * Platform.proc) list ->
+  Schedule.t ->
+  crashes:(Platform.proc * float) list ->
+  outcome
+(** Replay where processor [p] dies at time [tau]: replicas and message
+    emissions of [p] that would complete after [tau] are lost, earlier
+    ones survive. *)
+
+val fault_free : ?fabric:Netstate.fabric -> Schedule.t -> outcome
+(** Replay with no crash.  For a valid schedule, [latency] equals
+    {!Schedule.latency_zero_crash} (a useful cross-check, exercised by the
+    test suite). *)
+
+val crash_links :
+  ?fabric:Netstate.fabric ->
+  Schedule.t ->
+  links:(Platform.proc * Platform.proc) list ->
+  outcome
+(** Replay with the given {e directed} processor pairs unable to deliver:
+    messages on a dead route are emitted (the sender cannot know) and lost
+    in transit, so they still occupy the send port and the physical links.
+    Link failures are outside the paper's ε-processor-crash guarantee;
+    active replication still masks many of them — this entry point
+    measures how many. *)

@@ -1,0 +1,7 @@
+let uniform_procs rng ~m ~count =
+  Rng.sample_without_replacement rng (min count m) m
+
+let timed rng ~m ~count ~horizon =
+  List.map
+    (fun p -> (p, Rng.float rng horizon))
+    (uniform_procs rng ~m ~count)

@@ -1,0 +1,14 @@
+(** Crash-scenario generation for experiment campaigns.
+
+    The paper's crash experiments pick the processors that fail uniformly
+    among the platform's processors (Section 6: "Processors that fail
+    during the schedule process are chosen uniformly from the range
+    [\[1, 10\]]"). *)
+
+val uniform_procs : Rng.t -> m:int -> count:int -> Platform.proc list
+(** [count] distinct processors chosen uniformly among [m]. *)
+
+val timed :
+  Rng.t -> m:int -> count:int -> horizon:float -> (Platform.proc * float) list
+(** [count] distinct processors, each with a crash instant uniform in
+    [\[0, horizon)] — for the timed-crash extension experiments. *)

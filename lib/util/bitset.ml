@@ -1,0 +1,127 @@
+type t = { n : int; words : Bytes.t } (* 8 bits per byte, little-endian *)
+
+(* Bytes rather than int arrays keeps copy/blit trivial and fast for the
+   small universes we use (m <= 64 processors). *)
+
+let nbytes n = (n + 7) / 8
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative universe";
+  { n; words = Bytes.make (nbytes n) '\000' }
+
+let universe_size t = t.n
+let copy t = { n = t.n; words = Bytes.copy t.words }
+
+let check t i fn =
+  if i < 0 || i >= t.n then invalid_arg ("Bitset." ^ fn ^ ": out of universe")
+
+let add t i =
+  check t i "add";
+  let b = i / 8 and bit = i mod 8 in
+  Bytes.set t.words b
+    (Char.chr (Char.code (Bytes.get t.words b) lor (1 lsl bit)))
+
+let remove t i =
+  check t i "remove";
+  let b = i / 8 and bit = i mod 8 in
+  Bytes.set t.words b
+    (Char.chr (Char.code (Bytes.get t.words b) land lnot (1 lsl bit) land 0xff))
+
+let mem t i =
+  check t i "mem";
+  let b = i / 8 and bit = i mod 8 in
+  Char.code (Bytes.get t.words b) land (1 lsl bit) <> 0
+
+let singleton n i =
+  let t = create n in
+  add t i;
+  t
+
+let fold_bytes2 f acc a b =
+  let len = Bytes.length a.words in
+  let acc = ref acc in
+  for i = 0 to len - 1 do
+    acc := f !acc (Char.code (Bytes.get a.words i)) (Char.code (Bytes.get b.words i))
+  done;
+  !acc
+
+let same_universe a b fn =
+  if a.n <> b.n then invalid_arg ("Bitset." ^ fn ^ ": universe mismatch")
+
+let union_into ~into s =
+  same_universe into s "union_into";
+  for i = 0 to Bytes.length into.words - 1 do
+    Bytes.set into.words i
+      (Char.chr
+         (Char.code (Bytes.get into.words i)
+         lor Char.code (Bytes.get s.words i)))
+  done
+
+let union a b =
+  same_universe a b "union";
+  let r = copy a in
+  union_into ~into:r b;
+  r
+
+let inter a b =
+  same_universe a b "inter";
+  let r = create a.n in
+  for i = 0 to Bytes.length r.words - 1 do
+    Bytes.set r.words i
+      (Char.chr (Char.code (Bytes.get a.words i) land Char.code (Bytes.get b.words i)))
+  done;
+  r
+
+let disjoint a b =
+  same_universe a b "disjoint";
+  fold_bytes2 (fun acc x y -> acc && x land y = 0) true a b
+
+let subset a b =
+  same_universe a b "subset";
+  fold_bytes2 (fun acc x y -> acc && x land lnot y land 0xff = 0) true a b
+
+let equal a b =
+  same_universe a b "equal";
+  Bytes.equal a.words b.words
+
+let is_empty t =
+  let ok = ref true in
+  Bytes.iter (fun c -> if c <> '\000' then ok := false) t.words;
+  !ok
+
+let popcount_byte c =
+  let rec go n c = if c = 0 then n else go (n + (c land 1)) (c lsr 1) in
+  go 0 c
+
+let cardinal t =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + popcount_byte (Char.code c)) t.words;
+  !acc
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let elements t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let complement_elements t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if not (mem t i) then acc := i :: !acc
+  done;
+  !acc
+
+let of_list n l =
+  let t = create n in
+  List.iter (add t) l;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (elements t)))

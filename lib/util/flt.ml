@@ -1,0 +1,9 @@
+let eps = 1e-9
+let approx_eq ?(tol = eps) a b = Float.abs (a -. b) <= tol
+let leq ?(tol = eps) a b = a <= b +. tol
+let geq ?(tol = eps) a b = a >= b -. tol
+let max_list = List.fold_left Float.max neg_infinity
+let min_list = List.fold_left Float.min infinity
+
+let clamp ~lo ~hi x =
+  if x < lo then lo else if x > hi then hi else x

@@ -1,0 +1,25 @@
+(** Small helpers for floating-point schedule arithmetic.
+
+    Schedule times are sums and maxima of products of uniform random draws;
+    validation must compare them robustly.  [eps] is the tolerance shared by
+    the whole code base so that the schedule validator and the replay
+    simulator agree on what "simultaneous" means. *)
+
+val eps : float
+(** Absolute tolerance used throughout ([1e-9]). *)
+
+val approx_eq : ?tol:float -> float -> float -> bool
+(** [approx_eq a b] iff [|a - b| <= tol] (default {!eps}). *)
+
+val leq : ?tol:float -> float -> float -> bool
+(** [leq a b] iff [a <= b + tol]: less-or-approximately-equal. *)
+
+val geq : ?tol:float -> float -> float -> bool
+
+val max_list : float list -> float
+(** Maximum; [neg_infinity] on the empty list. *)
+
+val min_list : float list -> float
+(** Minimum; [infinity] on the empty list. *)
+
+val clamp : lo:float -> hi:float -> float -> float

@@ -1,0 +1,35 @@
+(** Imperative binary heap with a user-supplied ordering.
+
+    Used for the free-task priority lists of the list schedulers (the
+    paper's sorted list [alpha] with head function [H]) and for the event
+    queue of the fail-stop replay simulator.  Operations are O(log n);
+    [peek] is O(1). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap whose minimum is taken w.r.t. [cmp].
+    For a max-heap, negate the comparison. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** Heapify in O(n). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop}. Raises [Invalid_argument] on an empty heap. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains a copy of the heap; the heap itself is left untouched. *)
+
+val iter_unordered : ('a -> unit) -> 'a t -> unit
+(** Iterate over all elements in unspecified order. *)

@@ -1,0 +1,36 @@
+let available_domains () = Domain.recommended_domain_count ()
+
+type 'b chunk_result = Done of 'b list | Failed of exn
+
+let map ?domains f xs =
+  let domains =
+    match domains with Some d -> max 1 d | None -> available_domains ()
+  in
+  let n = List.length xs in
+  if domains <= 1 || n <= 1 then List.map f xs
+  else begin
+    let chunk_count = min domains n in
+    (* contiguous chunks of near-equal size, preserving order *)
+    let arr = Array.of_list xs in
+    let chunk i =
+      let lo = i * n / chunk_count and hi = (i + 1) * n / chunk_count in
+      Array.to_list (Array.sub arr lo (hi - lo))
+    in
+    let worker items () =
+      try Done (List.map f items) with exn -> Failed exn
+    in
+    (* run the first chunk on the current domain, the rest on spawned ones *)
+    let spawned =
+      List.init (chunk_count - 1) (fun i ->
+          Domain.spawn (worker (chunk (i + 1))))
+    in
+    let first = worker (chunk 0) () in
+    let rest = List.map Domain.join spawned in
+    let all = first :: rest in
+    (match
+       List.find_opt (function Failed _ -> true | Done _ -> false) all
+     with
+    | Some (Failed exn) -> raise exn
+    | _ -> ());
+    List.concat_map (function Done l -> l | Failed _ -> assert false) all
+  end

@@ -1,0 +1,18 @@
+(** Minimal deterministic fork-join parallelism over OCaml 5 domains.
+
+    The experiment campaigns evaluate dozens of independent instances per
+    point; {!map} spreads them over domains while keeping the result order
+    (hence all downstream aggregation) identical to the sequential run.
+    No work stealing, no shared state: the input list is split into
+    contiguous chunks, one domain per chunk. *)
+
+val available_domains : unit -> int
+(** Recommended domain count for this machine
+    ([Domain.recommended_domain_count]). *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] is [List.map f xs], computed with up to [domains]
+    domains (default {!available_domains}; [1] degenerates to the
+    sequential map).  [f] must not rely on shared mutable state.  The
+    first exception raised by any chunk is re-raised after all domains
+    joined. *)

@@ -1,0 +1,60 @@
+(** Descriptive statistics over float samples.
+
+    Used by the experiment harness to aggregate each campaign point (the
+    paper averages every plotted point over 60 random DAGs) and by the
+    benchmark reports. *)
+
+type summary = {
+  n : int;  (** sample count *)
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  q1 : float;  (** first quartile *)
+  q3 : float;  (** third quartile *)
+}
+
+val mean : float list -> float
+(** Arithmetic mean; [nan] on the empty list. *)
+
+val mean_array : float array -> float
+
+val variance : float list -> float
+(** Unbiased sample variance (n-1 denominator); [0.] for fewer than two
+    samples. *)
+
+val stddev : float list -> float
+
+val median : float list -> float
+(** [nan] on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [\[0,1\]], linear interpolation between
+    order statistics.  [nan] on the empty list. *)
+
+val summarize : float list -> summary
+(** Full summary.  Raises [Invalid_argument] on the empty list. *)
+
+val confidence_95 : float list -> float
+(** Half-width of the normal-approximation 95% confidence interval of the
+    mean ([1.96 * stddev / sqrt n]); [0.] for fewer than two samples. *)
+
+val kahan_sum : float list -> float
+(** Compensated summation. *)
+
+val kahan_sum_array : float array -> float
+
+(** Streaming accumulator (Welford), for aggregation without retaining
+    samples. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end

@@ -1,0 +1,102 @@
+type params = {
+  tasks : int;
+  fat : float;
+  regular : float;
+  density : float;
+  jump : int;
+  volume_min : float;
+  volume_max : float;
+}
+
+let default =
+  {
+    tasks = 100;
+    fat = 0.5;
+    regular = 0.5;
+    density = 0.5;
+    jump = 2;
+    volume_min = 50.;
+    volume_max = 150.;
+  }
+
+let validate p =
+  if p.tasks < 1 then invalid_arg "Daggen.generate: tasks < 1";
+  if p.fat <= 0. || p.fat > 1. then invalid_arg "Daggen.generate: fat not in (0,1]";
+  if p.regular < 0. || p.regular > 1. then
+    invalid_arg "Daggen.generate: regular not in [0,1]";
+  if p.density < 0. || p.density > 1. then
+    invalid_arg "Daggen.generate: density not in [0,1]";
+  if p.jump < 1 then invalid_arg "Daggen.generate: jump < 1";
+  if p.volume_min < 0. || p.volume_min > p.volume_max then
+    invalid_arg "Daggen.generate: bad volume range"
+
+let generate rng p =
+  validate p;
+  (* mean level width: fat scales between 1 and sqrt(tasks)-ish wide *)
+  let mean_width =
+    Float.max 1. (p.fat *. sqrt (float_of_int p.tasks) *. 2.)
+  in
+  (* carve the task count into levels whose widths wobble around
+     [mean_width] by (1 - regular) *)
+  let widths = ref [] in
+  let remaining = ref p.tasks in
+  while !remaining > 0 do
+    let wobble = (1. -. p.regular) *. mean_width in
+    let w =
+      int_of_float (Float.round (Rng.float_in rng (mean_width -. wobble) (mean_width +. wobble +. 1e-9)))
+    in
+    let w = max 1 (min w !remaining) in
+    widths := w :: !widths;
+    remaining := !remaining - w
+  done;
+  let widths = Array.of_list (List.rev !widths) in
+  let levels = Array.length widths in
+  (* allocate task ids level by level *)
+  let b = Dag.Builder.create () in
+  (* explicit loops: allocation order defines the task ids *)
+  let level_tasks =
+    Array.map
+      (fun w ->
+        let ids = Array.make w 0 in
+        for i = 0 to w - 1 do
+          ids.(i) <- Dag.Builder.add_task b
+        done;
+        ids)
+      widths
+  in
+  (* edges: for each pair of levels (l, l') with l < l' <= l + jump, each
+     possible edge exists with probability density / (l' - l) (nearer
+     levels are denser); then guarantee every non-entry task one parent *)
+  let has_parent = Hashtbl.create 64 in
+  let edge_exists = Hashtbl.create 256 in
+  let try_edge src dst =
+    if not (Hashtbl.mem edge_exists (src, dst)) then begin
+      Hashtbl.add edge_exists (src, dst) ();
+      Dag.Builder.add_edge b ~src ~dst
+        ~volume:(Rng.float_in rng p.volume_min p.volume_max);
+      Hashtbl.replace has_parent dst ()
+    end
+  in
+  for l = 0 to levels - 2 do
+    for l' = l + 1 to min (levels - 1) (l + p.jump) do
+      let prob = p.density /. float_of_int (l' - l) in
+      Array.iter
+        (fun src ->
+          Array.iter
+            (fun dst -> if Rng.float rng 1.0 < prob then try_edge src dst)
+            level_tasks.(l'))
+        level_tasks.(l)
+    done
+  done;
+  (* ensure connectivity downward: every task beyond level 0 has a parent *)
+  for l = 1 to levels - 1 do
+    Array.iter
+      (fun dst ->
+        if not (Hashtbl.mem has_parent dst) then begin
+          let parent_level = Rng.int_in rng (max 0 (l - p.jump)) (l - 1) in
+          let src = Rng.pick rng level_tasks.(parent_level) in
+          try_edge src dst
+        end)
+      level_tasks.(l)
+  done;
+  Dag.Builder.build b

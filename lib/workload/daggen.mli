@@ -1,0 +1,35 @@
+(** Daggen-style parametric task graphs.
+
+    The synthetic-DAG generator of the scheduling literature (Suter's
+    [daggen], used by countless HEFT-family papers) shapes a graph with
+    four intuitive knobs instead of degree ranges:
+
+    - [fat] in [(0, 1\]]: width of the graph — [fat = 1] gives maximal
+      parallelism (few fat levels), small [fat] gives a long skinny chain
+      of levels;
+    - [regular] in [\[0, 1\]]: how uniform the level widths are;
+    - [density] in [\[0, 1\]]: fraction of the possible edges between
+      consecutive levels that exist;
+    - [jump >= 1]: edges may skip up to [jump] levels ahead ([1] connects
+      only consecutive levels).
+
+    Volumes are drawn uniformly from [\[volume_min, volume_max\]].  Every
+    non-entry task keeps at least one incoming edge, so the graph never
+    has dangling levels. *)
+
+type params = {
+  tasks : int;
+  fat : float;
+  regular : float;
+  density : float;
+  jump : int;
+  volume_min : float;
+  volume_max : float;
+}
+
+val default : params
+(** 100 tasks, [fat 0.5], [regular 0.5], [density 0.5], [jump 2],
+    volumes in [\[50, 150\]]. *)
+
+val generate : Rng.t -> params -> Dag.t
+(** Raises [Invalid_argument] on out-of-range parameters. *)

@@ -1,0 +1,59 @@
+type params = {
+  m : int;
+  delay_min : float;
+  delay_max : float;
+  base_min : float;
+  base_max : float;
+  heterogeneity : float;
+}
+
+let default ?(m = 10) () =
+  {
+    m;
+    delay_min = 0.5;
+    delay_max = 1.0;
+    base_min = 50.;
+    base_max = 150.;
+    heterogeneity = 0.5;
+  }
+
+let validate p =
+  if p.m < 1 then invalid_arg "Platform_gen: m < 1";
+  if p.delay_min < 0. || p.delay_min > p.delay_max then
+    invalid_arg "Platform_gen: bad delay range";
+  if p.base_min < 0. || p.base_min > p.base_max then
+    invalid_arg "Platform_gen: bad base cost range";
+  if p.heterogeneity < 0. || p.heterogeneity >= 1. then
+    invalid_arg "Platform_gen: heterogeneity must be in [0, 1)"
+
+let platform rng p =
+  validate p;
+  let delays = Array.make_matrix p.m p.m 0. in
+  for k = 0 to p.m - 1 do
+    for h = 0 to p.m - 1 do
+      if k <> h then delays.(k).(h) <- Rng.float_in rng p.delay_min p.delay_max
+    done
+  done;
+  Platform.create ~delays
+
+let costs rng p dag plat =
+  validate p;
+  let v = Dag.task_count dag in
+  let m = Platform.proc_count plat in
+  (* explicit loops: Array.init would leave the draw order unspecified *)
+  let matrix = Array.make_matrix v m 0. in
+  for t = 0 to v - 1 do
+    let base = Rng.float_in rng p.base_min p.base_max in
+    for proc = 0 to m - 1 do
+      matrix.(t).(proc) <-
+        base *. Rng.float_in rng (1. -. p.heterogeneity) (1. +. p.heterogeneity)
+    done
+  done;
+  Costs.of_matrix dag plat matrix
+
+let instance rng ?granularity p dag =
+  let plat = platform rng p in
+  let c = costs rng p dag plat in
+  match granularity with
+  | None -> c
+  | Some g -> Granularity.rescale_to c g

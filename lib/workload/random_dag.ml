@@ -1,0 +1,64 @@
+type params = {
+  tasks_min : int;
+  tasks_max : int;
+  degree_min : int;
+  degree_max : int;
+  volume_min : float;
+  volume_max : float;
+}
+
+let default =
+  {
+    tasks_min = 80;
+    tasks_max = 120;
+    degree_min = 1;
+    degree_max = 3;
+    volume_min = 50.;
+    volume_max = 150.;
+  }
+
+let validate p =
+  if p.tasks_min < 1 || p.tasks_min > p.tasks_max then
+    invalid_arg "Random_dag.generate: bad task-count range";
+  if p.degree_min < 0 || p.degree_min > p.degree_max then
+    invalid_arg "Random_dag.generate: bad degree range";
+  if p.volume_min < 0. || p.volume_min > p.volume_max then
+    invalid_arg "Random_dag.generate: bad volume range"
+
+(* Each non-entry task draws its in-degree in [degree_min, degree_max]
+   and connects to that many distinct predecessors chosen uniformly in a
+   sliding window of the [locality] most recent tasks that still have
+   out-capacity.  The window spreads both degree distributions evenly
+   (no saturated tail) and produces the layered structure of real
+   workflow graphs; out-degrees are capped at [degree_max] as well. *)
+let locality = 8
+
+let generate rng p =
+  validate p;
+  let v = Rng.int_in rng p.tasks_min p.tasks_max in
+  let b = Dag.Builder.create () in
+  for _ = 1 to v do
+    ignore (Dag.Builder.add_task b)
+  done;
+  let out_deg = Array.make v 0 in
+  for j = 1 to v - 1 do
+    let window = ref [] in
+    for i = max 0 (j - locality) to j - 1 do
+      if out_deg.(i) < p.degree_max then window := i :: !window
+    done;
+    let window = Array.of_list !window in
+    let want = Rng.int_in rng p.degree_min p.degree_max in
+    let want = min want (Array.length window) in
+    if want > 0 then begin
+      Rng.shuffle_in_place rng window;
+      for k = 0 to want - 1 do
+        let i = window.(k) in
+        out_deg.(i) <- out_deg.(i) + 1;
+        Dag.Builder.add_edge b ~src:i ~dst:j
+          ~volume:(Rng.float_in rng p.volume_min p.volume_max)
+      done
+    end
+  done;
+  Dag.Builder.build b
+
+let generate_default rng = generate rng default

@@ -1,0 +1,35 @@
+(** Random task graphs with the characteristics of the paper's
+    experimental campaign (Section 6):
+
+    - number of tasks uniform in [\[80, 120\]];
+    - number of incoming/outgoing edges per task in [\[1, 3\]];
+    - message volume per edge uniform in [\[50, 150\]].
+
+    The generator works in a fixed topological order: each non-entry task
+    draws an in-degree in the configured range and connects to that many
+    distinct predecessors, chosen uniformly among the most recent tasks
+    that still have out-capacity (a sliding locality window).  This keeps
+    both degree distributions inside the range without saturating the
+    tail of the order, and produces the layered structure of real
+    workflow graphs.  The first task is always an entry; the last tasks
+    naturally become exits. *)
+
+type params = {
+  tasks_min : int;
+  tasks_max : int;
+  degree_min : int;  (** desired out-degree lower bound *)
+  degree_max : int;  (** out-degree and in-degree cap *)
+  volume_min : float;
+  volume_max : float;
+}
+
+val default : params
+(** The paper's values: tasks in [\[80, 120\]], degrees in [\[1, 3\]],
+    volumes in [\[50, 150\]]. *)
+
+val generate : Rng.t -> params -> Dag.t
+(** A fresh random DAG.  Raises [Invalid_argument] on inconsistent
+    parameters (negative sizes, [degree_min > degree_max], empty volume
+    range, [tasks_min > tasks_max] or [tasks_min < 1]). *)
+
+val generate_default : Rng.t -> Dag.t

@@ -1,0 +1,70 @@
+The ftsched CLI, driven end to end on a small deterministic instance.
+
+Build and validate a CAFT schedule:
+
+  $ ftsched schedule --seed 2 --tasks 10 -m 4 --epsilon 1
+  schedule CAFT: 10 tasks x 2 replicas on 4 processors (one-port model)
+  latency (0 crash) 884.755, upper bound 1011.092, 16 messages
+  graph: 10 tasks, 19 edges, width 3, granularity 1.00
+  validation: ok
+
+Exhaustive fault-tolerance check (4 single-crash scenarios on 4 processors):
+
+  $ ftsched check --seed 2 --tasks 10 -m 4 --epsilon 1
+  CAFT, epsilon=1: resists (4 scenarios, exhaustive)
+  worst completed-scenario latency: 1011.092
+
+Crash one processor and replay the real execution:
+
+  $ ftsched crash --seed 2 --tasks 10 -m 4 --epsilon 1 --crash 1
+  schedule CAFT: latency 884.755 (0 crash), upper bound 1011.092
+  crashed processors: {1}
+  replay: completed, real latency 884.755
+
+Monte-Carlo fault injection — with crashes <= epsilon nothing ever fails:
+
+  $ ftsched montecarlo --seed 2 --tasks 10 -m 4 --epsilon 1 --crashes 1 --runs 50
+  CAFT, epsilon=1, 50 scenarios of 1 from-start crashes (latency with 0 crash: 884.755)
+  50/50 runs completed (failure rate 0.00%)
+  latency: mean 945.397, median 884.755, min 884.755, max 1011.092 (worst slowdown 1.14x)
+
+Save a schedule, reload it, and check the round trip preserves the metrics:
+
+  $ ftsched inspect --seed 2 --tasks 10 -m 4 --epsilon 1 --save saved.sched > full.out
+  $ head -2 full.out
+  schedule CAFT: 10 tasks x 2 replicas on 4 processors (one-port model)
+  latency (0 crash) 884.755, upper bound 1011.092, 16 messages
+
+  $ ftsched inspect --load saved.sched > reloaded.out
+  $ head -2 reloaded.out
+  schedule CAFT: 10 tasks x 2 replicas on 4 processors (one-port model)
+  latency (0 crash) 884.755, upper bound 1011.092, 16 messages
+
+A fault-free HEFT schedule cannot resist a crash — the checker says so
+(and exits non-zero):
+
+  $ ftsched check --seed 2 --tasks 10 -m 4 --epsilon 1 --algo heft
+  HEFT, epsilon=1: DOES NOT RESIST (1 scenarios, exhaustive)
+  counterexample: crash {0} starves tasks {1,2,3,4,5,6,7,8,9}
+  [1]
+
+Import a workflow from DOT and explain its critical chain:
+
+  $ cat > wf.dot <<'DOT'
+  > digraph { a -> b [label="120"]; a -> c [label="120"]; b -> d [label="60"]; c -> d [label="60"]; }
+  > DOT
+  $ ftsched inspect --import wf.dot -m 4 --epsilon 1 --explain | tail -6
+  
+  critical chain (comm share 22%):
+  t0[0] on P3 [0.00, 48.89] — starts the chain
+  t2[0] on P3 [48.89, 106.85] — after local data from t0[0]
+  t1[0] on P3 [106.85, 164.93] — after t2[0] freed the processor
+  t3[0] on P2 [224.28, 264.97] — after the message from t1[0]@P3 arrived at 224.28
+
+Inspect a sparse interconnect:
+
+  $ ftsched topology -m 8 --shape ring
+  ring: 8 processors, 16 directed links, diameter 4 hops
+
+  $ ftsched topology --shape hypercube-3 | head -1
+  hypercube-3: 8 processors, 24 directed links, diameter 3 hops

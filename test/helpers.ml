@@ -1,0 +1,38 @@
+(* Shared builders for the test suites. *)
+
+let check_float = Alcotest.(check (float 1e-6))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A fixed small diamond DAG:
+     0 -> 1 (10), 0 -> 2 (20), 1 -> 3 (30), 2 -> 3 (40) *)
+let diamond_dag () =
+  Dag.make ~n:4 ~edges:[ (0, 1, 10.); (0, 2, 20.); (1, 3, 30.); (2, 3, 40.) ] ()
+
+(* A chain 0 -> 1 -> 2 with unit volumes. *)
+let chain3 () = Dag.make ~n:3 ~edges:[ (0, 1, 1.); (1, 2, 1.) ] ()
+
+(* Homogeneous platform: m processors, every link delay 1. *)
+let uniform_platform m = Platform.uniform ~m ~delay:1.
+
+(* Costs where every task costs [c] on every processor. *)
+let flat_costs ?(c = 10.) dag platform =
+  Costs.create dag platform (fun _ _ -> c)
+
+(* A random paper-style instance, small enough for fast tests. *)
+let random_instance ?(seed = 1) ?(m = 6) ?(tasks = 30) ?(granularity = 1.0) () =
+  let rng = Rng.create seed in
+  let dag =
+    Random_dag.generate rng
+      { Random_dag.default with Random_dag.tasks_min = tasks; tasks_max = tasks }
+  in
+  let params = Platform_gen.default ~m () in
+  let costs = Platform_gen.instance rng ~granularity params dag in
+  (dag, costs)
+
+let schedulers =
+  [
+    ("CAFT", fun ~epsilon costs -> Caft.run ~epsilon costs);
+    ("FTSA", fun ~epsilon costs -> Ftsa.run ~epsilon costs);
+    ("FTBAR", fun ~epsilon costs -> Ftbar.run ~epsilon costs);
+  ]

@@ -1,0 +1,151 @@
+(* Baseline-specific behaviour: FTSA, FTBAR, HEFT. *)
+
+let test_ftsa_replica_messages () =
+  (* FTSA: every replica of each predecessor ships to every replica of
+     the task, except when co-located.  On a 2-task chain with epsilon=1
+     and enough processors: 4 messages minus co-locations. *)
+  let dag = Dag.make ~n:2 ~edges:[ (0, 1, 10.) ] () in
+  let platform = Helpers.uniform_platform 6 in
+  let costs = Helpers.flat_costs ~c:100. dag platform in
+  let sched = Ftsa.run ~epsilon:1 costs in
+  let locals =
+    List.length
+      (List.filter
+         (fun (r : Schedule.replica) ->
+           List.exists
+             (function Schedule.Local _ -> true | Schedule.Message _ -> false)
+             r.Schedule.r_inputs)
+         (Schedule.all_replicas sched))
+  in
+  (* each co-located replica of t1 replaces 2 messages by a local supply *)
+  Helpers.check_int "message count accounting"
+    (4 - (2 * locals))
+    (Schedule.message_count sched)
+
+let test_ftsa_quadratic_vs_caft_linear () =
+  (* on a fork with many children and plenty of processors, FTSA sends
+     about e(eps+1)^2 messages, CAFT about e(eps+1) *)
+  let dag = Families.fork 10 in
+  let platform = Helpers.uniform_platform 12 in
+  let costs = Helpers.flat_costs ~c:1000. dag platform in
+  (* coarse cost => replicas spread out, little co-location *)
+  let epsilon = 2 in
+  let ftsa = Ftsa.run ~epsilon costs in
+  let caft = Caft.run ~epsilon costs in
+  let e = Dag.edge_count dag in
+  Helpers.check_bool "FTSA superlinear" true
+    (Schedule.message_count ftsa > e * (epsilon + 1));
+  Helpers.check_bool "CAFT at most linear" true
+    (Schedule.message_count caft <= e * (epsilon + 1))
+
+let test_ftsa_min_finish_commit () =
+  (* the first replica of an entry task goes to a fastest processor *)
+  let dag = Dag.make ~n:1 ~edges:[] () in
+  let platform = Helpers.uniform_platform 3 in
+  let costs = Costs.of_matrix dag platform [| [| 10.; 2.; 5. |] |] in
+  let sched = Ftsa.run ~epsilon:1 costs in
+  let replicas = Schedule.replicas sched 0 in
+  Helpers.check_int "fastest proc first" 1 replicas.(0).Schedule.r_proc;
+  Helpers.check_int "second fastest next" 2 replicas.(1).Schedule.r_proc
+
+let test_ftbar_validity_and_tolerance () =
+  for seed = 1 to 8 do
+    let _, costs = Helpers.random_instance ~seed ~m:7 ~tasks:20 () in
+    let sched = Ftbar.run ~epsilon:2 costs in
+    Helpers.check_bool "valid" true (Validate.is_valid sched);
+    Helpers.check_bool "resists" true
+      (Fault_check.check ~epsilon:2 sched).Fault_check.resists
+  done
+
+let test_ftbar_respects_precedence_order () =
+  (* FTBAR picks the most urgent free task, which need not be the
+     priority order, but precedence must still hold: every replica starts
+     after some complete input set *)
+  let _, costs = Helpers.random_instance ~seed:30 () in
+  let sched = Ftbar.run ~epsilon:1 costs in
+  Helpers.check_bool "valid schedule" true (Validate.is_valid sched)
+
+let test_heft_single_replica () =
+  let _, costs = Helpers.random_instance ~seed:31 () in
+  let sched = Heft.run costs in
+  Helpers.check_int "epsilon 0" 0 (Schedule.epsilon sched);
+  Helpers.check_bool "algorithm name" true (Schedule.algorithm sched = "HEFT");
+  Helpers.check_bool "valid" true (Validate.is_valid sched);
+  (* zero-crash latency equals upper bound when there is one replica *)
+  Helpers.check_float "bounds coincide"
+    (Schedule.latency_zero_crash sched)
+    (Schedule.latency_upper_bound sched)
+
+let test_heft_beats_replication_on_latency () =
+  (* fault-free schedules are never slower than the replicated ones of
+     the same algorithm family *)
+  let _, costs = Helpers.random_instance ~seed:32 () in
+  let heft = Heft.run costs in
+  let ftsa = Ftsa.run ~epsilon:2 costs in
+  Helpers.check_bool "replication costs latency" true
+    (Schedule.latency_zero_crash heft
+    <= Schedule.latency_zero_crash ftsa +. 1e-6)
+
+let test_all_single_task () =
+  (* corner: a single task, no edges *)
+  let dag = Dag.make ~n:1 ~edges:[] () in
+  let platform = Helpers.uniform_platform 4 in
+  let costs = Helpers.flat_costs ~c:3. dag platform in
+  List.iter
+    (fun (name, sched) ->
+      Helpers.check_bool (name ^ " valid") true (Validate.is_valid sched);
+      Helpers.check_float (name ^ " latency") 3.
+        (Schedule.latency_zero_crash sched))
+    [
+      ("CAFT", Caft.run ~epsilon:3 costs);
+      ("FTSA", Ftsa.run ~epsilon:3 costs);
+      ("FTBAR", Ftbar.run ~epsilon:3 costs);
+      ("HEFT", Heft.run costs);
+    ]
+
+let test_independent_tasks () =
+  (* no edges at all: schedulers must spread replicas without messages *)
+  let dag = Dag.make ~n:8 ~edges:[] () in
+  let platform = Helpers.uniform_platform 5 in
+  let costs = Helpers.flat_costs ~c:2. dag platform in
+  List.iter
+    (fun (name, sched) ->
+      Helpers.check_bool (name ^ " valid") true (Validate.is_valid sched);
+      Helpers.check_int (name ^ " no messages") 0 (Schedule.message_count sched);
+      Helpers.check_bool (name ^ " resists") true
+        (Fault_check.check ~epsilon:1 sched).Fault_check.resists)
+    [ ("CAFT", Caft.run ~epsilon:1 costs); ("FTSA", Ftsa.run ~epsilon:1 costs);
+      ("FTBAR", Ftbar.run ~epsilon:1 costs) ]
+
+let test_determinism_all () =
+  let _, costs = Helpers.random_instance ~seed:33 () in
+  List.iter
+    (fun (name, run) ->
+      let a = run () and b = run () in
+      Helpers.check_float (name ^ " deterministic")
+        (Schedule.latency_zero_crash a)
+        (Schedule.latency_zero_crash b))
+    [
+      ("FTSA", fun () -> Ftsa.run ~seed:4 ~epsilon:2 costs);
+      ("FTBAR", fun () -> Ftbar.run ~seed:4 ~epsilon:2 costs);
+      ("HEFT", fun () -> Heft.run ~seed:4 costs);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "FTSA message accounting" `Quick test_ftsa_replica_messages;
+    Alcotest.test_case "FTSA quadratic vs CAFT linear" `Quick
+      test_ftsa_quadratic_vs_caft_linear;
+    Alcotest.test_case "FTSA min-finish commit order" `Quick
+      test_ftsa_min_finish_commit;
+    Alcotest.test_case "FTBAR validity and tolerance" `Slow
+      test_ftbar_validity_and_tolerance;
+    Alcotest.test_case "FTBAR precedence" `Quick
+      test_ftbar_respects_precedence_order;
+    Alcotest.test_case "HEFT single replica" `Quick test_heft_single_replica;
+    Alcotest.test_case "HEFT vs replication latency" `Quick
+      test_heft_beats_replication_on_latency;
+    Alcotest.test_case "single task corner" `Quick test_all_single_task;
+    Alcotest.test_case "independent tasks" `Quick test_independent_tasks;
+    Alcotest.test_case "baseline determinism" `Quick test_determinism_all;
+  ]

@@ -1,0 +1,171 @@
+(* CAFT-specific behaviour: one-to-one replication, message bounds,
+   support disjointness (via exhaustive crash checks), determinism. *)
+
+let test_proposition_5_1_bound () =
+  (* Proposition 5.1: on fork / out-forest graphs CAFT sends at most
+     e(eps+1) messages. *)
+  let rng = Rng.create 2 in
+  List.iter
+    (fun dag ->
+      List.iter
+        (fun (m, epsilon) ->
+          let params = Platform_gen.default ~m () in
+          let costs = Platform_gen.instance rng ~granularity:1.0 params dag in
+          let sched = Caft.run ~epsilon costs in
+          let bound = Dag.edge_count dag * (epsilon + 1) in
+          Helpers.check_bool
+            (Printf.sprintf "bound e(eps+1), eps=%d m=%d" epsilon m)
+            true
+            (Schedule.message_count sched <= bound))
+        [ (10, 1); (10, 3); (8, 2) ])
+    [
+      Families.fork 12;
+      Families.out_tree ~arity:2 ~depth:4 ();
+      Families.out_tree ~arity:3 ~depth:2 ();
+      Families.chain 15;
+    ]
+
+let test_single_pred_one_to_one () =
+  (* A chain with plenty of processors: every task has one predecessor,
+     so every replica receives exactly one message (or a local supply) -
+     pure one-to-one mapping. *)
+  let dag = Families.chain 10 in
+  let platform = Helpers.uniform_platform 8 in
+  let costs = Helpers.flat_costs ~c:10. dag platform in
+  let epsilon = 2 in
+  let sched = Caft.run ~epsilon costs in
+  List.iter
+    (fun (r : Schedule.replica) ->
+      if Dag.in_degree dag r.Schedule.r_task > 0 then
+        Helpers.check_int
+          (Printf.sprintf "replica %d.%d has exactly one supply"
+             r.Schedule.r_task r.Schedule.r_index)
+          1
+          (List.length r.Schedule.r_inputs))
+    (Schedule.all_replicas sched)
+
+let test_fault_free_is_heft_like () =
+  (* epsilon=0 CAFT and HEFT follow the same strategy; on a single-pred
+     graph they should produce identical latencies *)
+  let _, costs = Helpers.random_instance ~seed:14 () in
+  let caft = Caft.fault_free ~seed:5 costs in
+  let heft = Heft.run ~seed:5 costs in
+  Helpers.check_float "same latency as HEFT"
+    (Schedule.latency_zero_crash heft)
+    (Schedule.latency_zero_crash caft);
+  Helpers.check_int "one replica per task"
+    (Dag.task_count (Schedule.costs caft |> Costs.dag))
+    (List.length (Schedule.all_replicas caft))
+
+let test_determinism () =
+  let _, costs = Helpers.random_instance ~seed:15 () in
+  let s1 = Caft.run ~seed:9 ~epsilon:2 costs in
+  let s2 = Caft.run ~seed:9 ~epsilon:2 costs in
+  Helpers.check_float "same latency" (Schedule.latency_zero_crash s1)
+    (Schedule.latency_zero_crash s2);
+  Helpers.check_int "same messages" (Schedule.message_count s1)
+    (Schedule.message_count s2);
+  List.iter2
+    (fun (a : Schedule.replica) (b : Schedule.replica) ->
+      Helpers.check_int "same placement" a.Schedule.r_proc b.Schedule.r_proc)
+    (Schedule.all_replicas s1) (Schedule.all_replicas s2)
+
+let test_epsilon_zero_to_high () =
+  (* Replication usually costs latency, but a replicated predecessor can
+     occasionally deliver *earlier* (the consumer uses whichever replica
+     arrives first), so small inversions are legitimate.  Guard against
+     gross anomalies only: latency at epsilon>0 within 25% below the
+     fault-free latency, and the high-replication end strictly above it. *)
+  let _, costs = Helpers.random_instance ~seed:16 ~m:8 () in
+  let latency epsilon = Schedule.latency_zero_crash (Caft.run ~epsilon costs) in
+  let l0 = latency 0 in
+  List.iter
+    (fun epsilon ->
+      Helpers.check_bool
+        (Printf.sprintf "eps=%d latency sane" epsilon)
+        true
+        (latency epsilon >= 0.75 *. l0))
+    [ 1; 2; 3 ];
+  Helpers.check_bool "heavy replication costs latency" true (latency 3 > l0)
+
+let test_resists_on_many_seeds () =
+  (* broad randomized sweep of the support-set machinery *)
+  for seed = 1 to 15 do
+    let _, costs = Helpers.random_instance ~seed ~m:7 ~tasks:25 () in
+    let sched = Caft.run ~epsilon:2 costs in
+    let report = Fault_check.check ~epsilon:2 sched in
+    (match report.Fault_check.counterexample with
+    | Some (crashed, failed) ->
+        Alcotest.failf "seed %d: crash {%s} starves {%s}" seed
+          (String.concat "," (List.map string_of_int crashed))
+          (String.concat "," (List.map string_of_int failed))
+    | None -> ());
+    Helpers.check_bool "exhaustive" true report.Fault_check.exhaustive
+  done
+
+let test_minimal_platform () =
+  (* m = epsilon + 1: every processor hosts one replica of every task *)
+  let dag = Families.chain 5 in
+  let platform = Helpers.uniform_platform 3 in
+  let costs = Helpers.flat_costs ~c:4. dag platform in
+  let sched = Caft.run ~epsilon:2 costs in
+  Helpers.check_bool "valid" true (Validate.is_valid sched);
+  let report = Fault_check.check ~epsilon:2 sched in
+  Helpers.check_bool "resists with m = eps+1" true report.Fault_check.resists;
+  (* each processor must run all 5 tasks *)
+  List.iter
+    (fun p -> Helpers.check_int "full column" 5 (List.length (Schedule.on_proc sched p)))
+    (Platform.procs platform)
+
+let test_epsilon_bounds () =
+  let dag = Families.chain 3 in
+  let platform = Helpers.uniform_platform 2 in
+  let costs = Helpers.flat_costs dag platform in
+  Alcotest.check_raises "epsilon >= m rejected"
+    (Invalid_argument
+       "Workspace.create: need at least epsilon+1 processors for replication")
+    (fun () -> ignore (Caft.run ~epsilon:2 costs))
+
+let test_messages_less_than_ftsa_aggregate () =
+  (* aggregate over seeds: CAFT sends at most as many messages as FTSA on
+     average (individual seeds may rarely tie) *)
+  let total_caft = ref 0 and total_ftsa = ref 0 in
+  for seed = 1 to 10 do
+    let _, costs = Helpers.random_instance ~seed ~m:10 ~tasks:40 () in
+    total_caft := !total_caft + Schedule.message_count (Caft.run ~epsilon:2 costs);
+    total_ftsa := !total_ftsa + Schedule.message_count (Ftsa.run ~epsilon:2 costs)
+  done;
+  Helpers.check_bool
+    (Printf.sprintf "aggregate messages: CAFT %d vs FTSA %d" !total_caft
+       !total_ftsa)
+    true
+    (float_of_int !total_caft < 0.85 *. float_of_int !total_ftsa)
+
+let test_macro_model_variant () =
+  let _, costs = Helpers.random_instance ~seed:18 () in
+  let sched = Caft.run ~model:Netstate.Macro_dataflow ~epsilon:1 costs in
+  Helpers.check_bool "macro variant valid" true (Validate.is_valid sched);
+  Helpers.check_bool "macro variant resists" true
+    (Fault_check.check ~epsilon:1 sched).Fault_check.resists;
+  Helpers.check_bool "algorithm name" true
+    (Schedule.algorithm sched = "CAFT-macro")
+
+let suite =
+  [
+    Alcotest.test_case "Proposition 5.1 message bound" `Quick
+      test_proposition_5_1_bound;
+    Alcotest.test_case "single-pred pure one-to-one" `Quick
+      test_single_pred_one_to_one;
+    Alcotest.test_case "fault-free reduces to HEFT" `Quick
+      test_fault_free_is_heft_like;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "replication never cheaper than fault-free" `Quick
+      test_epsilon_zero_to_high;
+    Alcotest.test_case "resists across seeds (exhaustive)" `Slow
+      test_resists_on_many_seeds;
+    Alcotest.test_case "minimal platform m=eps+1" `Quick test_minimal_platform;
+    Alcotest.test_case "epsilon bounds" `Quick test_epsilon_bounds;
+    Alcotest.test_case "aggregate message advantage over FTSA" `Quick
+      test_messages_less_than_ftsa_aggregate;
+    Alcotest.test_case "macro-dataflow variant" `Quick test_macro_model_variant;
+  ]

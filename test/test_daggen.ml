@@ -1,0 +1,103 @@
+(* Tests for the daggen-style parametric generator. *)
+
+let test_task_count_exact () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 20 do
+    let tasks = 1 + Rng.int rng 150 in
+    let g = Daggen.generate rng { Daggen.default with Daggen.tasks } in
+    Helpers.check_int "exact task count" tasks (Dag.task_count g)
+  done
+
+let test_every_non_entry_has_parent () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 10 do
+    let g = Daggen.generate rng { Daggen.default with Daggen.density = 0.05 } in
+    (* level 0 tasks are the only possible entries; with density 0.05 most
+       edges come from the connectivity pass, which must leave no orphan *)
+    let entries = Dag.entries g in
+    List.iter
+      (fun t ->
+        Helpers.check_bool "entry or has parent" true
+          (List.mem t entries || Dag.in_degree g t > 0))
+      (List.init (Dag.task_count g) Fun.id);
+    (* the first task is always an entry *)
+    Helpers.check_bool "task 0 is an entry" true (List.mem 0 entries)
+  done
+
+let test_fat_controls_width () =
+  let width_for fat =
+    let rng = Rng.create 7 in
+    let g =
+      Daggen.generate rng { Daggen.default with Daggen.fat; tasks = 120 }
+    in
+    Dag.width g
+  in
+  let skinny = width_for 0.1 in
+  let fat = width_for 1.0 in
+  Helpers.check_bool
+    (Printf.sprintf "fat widens the graph (%d vs %d)" skinny fat)
+    true (fat > skinny)
+
+let test_density_controls_edges () =
+  let edges_for density =
+    let rng = Rng.create 8 in
+    Dag.edge_count (Daggen.generate rng { Daggen.default with Daggen.density })
+  in
+  let sparse = edges_for 0.1 in
+  let dense = edges_for 0.9 in
+  Helpers.check_bool
+    (Printf.sprintf "density adds edges (%d vs %d)" sparse dense)
+    true
+    (dense > sparse)
+
+let test_jump_limits_span () =
+  (* with jump = 1, every edge connects consecutive levels: the level of
+     the target (longest path depth) exceeds the source's by exactly 1 *)
+  let rng = Rng.create 9 in
+  let g =
+    Daggen.generate rng { Daggen.default with Daggen.jump = 1; tasks = 60 }
+  in
+  let n = Dag.task_count g in
+  let depth = Array.make n 0 in
+  Array.iter
+    (fun u ->
+      Array.iter
+        (fun (v, _) -> depth.(v) <- max depth.(v) (depth.(u) + 1))
+        (Dag.succs g u))
+    (Dag.topological_order g);
+  Dag.iter_edges
+    (fun u v _ ->
+      Helpers.check_bool "jump-1 edges span at most few levels" true
+        (depth.(v) - depth.(u) >= 1))
+    g
+
+let test_rejects_bad_params () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "fat 0" (Invalid_argument "Daggen.generate: fat not in (0,1]")
+    (fun () -> ignore (Daggen.generate rng { Daggen.default with Daggen.fat = 0. }));
+  Alcotest.check_raises "density" (Invalid_argument "Daggen.generate: density not in [0,1]")
+    (fun () ->
+      ignore (Daggen.generate rng { Daggen.default with Daggen.density = 1.5 }));
+  Alcotest.check_raises "jump" (Invalid_argument "Daggen.generate: jump < 1")
+    (fun () -> ignore (Daggen.generate rng { Daggen.default with Daggen.jump = 0 }))
+
+let test_schedulable () =
+  let rng = Rng.create 10 in
+  let g = Daggen.generate rng { Daggen.default with Daggen.tasks = 40 } in
+  let params = Platform_gen.default ~m:6 () in
+  let costs = Platform_gen.instance rng ~granularity:1.0 params g in
+  let sched = Caft.run ~epsilon:1 costs in
+  Helpers.check_bool "valid" true (Validate.is_valid sched);
+  Helpers.check_bool "resists" true
+    (Fault_check.check ~epsilon:1 sched).Fault_check.resists
+
+let suite =
+  [
+    Alcotest.test_case "exact task count" `Quick test_task_count_exact;
+    Alcotest.test_case "no orphan tasks" `Quick test_every_non_entry_has_parent;
+    Alcotest.test_case "fat controls width" `Quick test_fat_controls_width;
+    Alcotest.test_case "density controls edges" `Quick test_density_controls_edges;
+    Alcotest.test_case "jump limits level span" `Quick test_jump_limits_span;
+    Alcotest.test_case "rejects bad params" `Quick test_rejects_bad_params;
+    Alcotest.test_case "schedulable end to end" `Quick test_schedulable;
+  ]

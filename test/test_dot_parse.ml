@@ -1,0 +1,140 @@
+(* Tests for the DOT importer. *)
+
+let test_simple () =
+  let g =
+    Dot.parse
+      {|digraph test {
+          a [label="load"];
+          b;
+          a -> b [label="42.5"];
+        }|}
+  in
+  Helpers.check_int "tasks" 2 (Dag.task_count g);
+  Helpers.check_int "edges" 1 (Dag.edge_count g);
+  Helpers.check_bool "label becomes name" true (Dag.name g 0 = "load");
+  Helpers.check_bool "dot id fallback" true (Dag.name g 1 = "b");
+  Helpers.check_bool "volume from label" true
+    (Dag.volume g ~src:0 ~dst:1 = Some 42.5)
+
+let test_roundtrip_with_export () =
+  let rng = Rng.create 3 in
+  let original =
+    Random_dag.generate rng
+      { Random_dag.default with Random_dag.tasks_min = 25; tasks_max = 25 }
+  in
+  let g = Dot.parse (Dot.to_string original) in
+  Helpers.check_int "tasks preserved" (Dag.task_count original) (Dag.task_count g);
+  Helpers.check_int "edges preserved" (Dag.edge_count original) (Dag.edge_count g);
+  (* exported names come back *)
+  for t = 0 to Dag.task_count g - 1 do
+    Helpers.check_bool "name preserved" true (Dag.name g t = Dag.name original t)
+  done;
+  (* edge endpoints preserved; volumes only to the exporter's precision *)
+  Dag.iter_edges
+    (fun u v vol ->
+      match Dag.volume original ~src:u ~dst:v with
+      | Some orig -> Helpers.check_bool "volume close" true (Float.abs (orig -. vol) < 0.05 +. 1e-9)
+      | None -> Alcotest.failf "edge %d->%d not in original" u v)
+    g
+
+let test_implicit_nodes_and_chains () =
+  let g = Dot.parse ~default_volume:7. "digraph { x -> y -> z; y -> w }" in
+  Helpers.check_int "implicit nodes" 4 (Dag.task_count g);
+  Helpers.check_int "chain expands" 3 (Dag.edge_count g);
+  Dag.iter_edges
+    (fun _ _ vol -> Helpers.check_float "default volume" 7. vol)
+    g
+
+let test_comments_and_defaults () =
+  let g =
+    Dot.parse
+      {|// a comment
+        digraph "named graph" {
+          rankdir=TB;
+          node [shape=box];
+          /* block
+             comment */
+          # hash comment
+          a -> b;
+        }|}
+  in
+  Helpers.check_int "tasks" 2 (Dag.task_count g);
+  Helpers.check_int "edges" 1 (Dag.edge_count g)
+
+let test_strict_header_and_quoted_ids () =
+  let g = Dot.parse {|strict digraph { "node one" -> "node two" [weight=3]; }|} in
+  Helpers.check_int "tasks" 2 (Dag.task_count g);
+  Helpers.check_bool "quoted name" true (Dag.name g 0 = "node one")
+
+let test_errors () =
+  let fails text =
+    match Dot.parse text with
+    | exception Dot.Parse_error _ -> ()
+    | exception Dag.Cycle _ -> ()
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "accepted %S" text
+  in
+  fails "";
+  fails "graph { a -- b }";
+  fails "digraph { a -> }";
+  fails "digraph { a -> b ";
+  fails "digraph { a [label=\"unterminated }";
+  (* cycles are rejected by the builder *)
+  fails "digraph { a -> b; b -> a }";
+  (* duplicate edges too *)
+  fails "digraph { a -> b; a -> b }"
+
+let test_parse_then_schedule () =
+  (* an imported workflow goes straight through the whole pipeline *)
+  let g =
+    Dot.parse ~default_volume:50.
+      {|digraph pipeline {
+          ingest -> clean; ingest -> index;
+          clean -> model; index -> model;
+          model -> report;
+        }|}
+  in
+  let platform = Helpers.uniform_platform 4 in
+  let costs = Helpers.flat_costs ~c:30. g platform in
+  let sched = Caft.run ~epsilon:1 costs in
+  Helpers.check_bool "valid" true (Validate.is_valid sched);
+  Helpers.check_bool "resists" true
+    (Fault_check.check ~epsilon:1 sched).Fault_check.resists
+
+let test_svg_renders () =
+  let _, costs = Helpers.random_instance ~seed:9 () in
+  let sched = Caft.run ~epsilon:1 costs in
+  let svg = Gantt.to_svg sched in
+  Helpers.check_bool "svg header" true
+    (String.length svg > 200 && String.sub svg 0 4 = "<svg");
+  Helpers.check_bool "svg closes" true
+    (let tail = String.sub svg (String.length svg - 7) 7 in
+     tail = "</svg>\n");
+  (* one rect per replica *)
+  let count needle =
+    let n = String.length needle and h = String.length svg in
+    let c = ref 0 in
+    for i = 0 to h - n do
+      if String.sub svg i n = needle then incr c
+    done;
+    !c
+  in
+  Helpers.check_int "one rect per replica"
+    (List.length (Schedule.all_replicas sched))
+    (count "<rect ")
+
+let suite =
+  [
+    Alcotest.test_case "simple digraph" `Quick test_simple;
+    Alcotest.test_case "roundtrip with exporter" `Quick
+      test_roundtrip_with_export;
+    Alcotest.test_case "implicit nodes and chains" `Quick
+      test_implicit_nodes_and_chains;
+    Alcotest.test_case "comments and defaults" `Quick test_comments_and_defaults;
+    Alcotest.test_case "strict header, quoted ids" `Quick
+      test_strict_header_and_quoted_ids;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "imported workflow schedules" `Quick
+      test_parse_then_schedule;
+    Alcotest.test_case "svg gantt renders" `Quick test_svg_renders;
+  ]

@@ -1,0 +1,208 @@
+(* Tests for the experiment harness: configurations, campaign runs,
+   report rendering, and the lower-bound calibration. *)
+
+let test_config_figures () =
+  let f1 = Config.figure 1 in
+  Helpers.check_int "fig1 m" 10 f1.Config.m;
+  Helpers.check_int "fig1 eps" 1 f1.Config.epsilon;
+  Helpers.check_int "fig1 crashes" 1 f1.Config.crashes;
+  Helpers.check_int "fig1 points" 10 (List.length f1.Config.granularities);
+  Helpers.check_int "fig1 graphs" 60 f1.Config.graphs_per_point;
+  Helpers.check_float "range A starts" 0.2 (List.hd f1.Config.granularities);
+  let f6 = Config.figure 6 in
+  Helpers.check_int "fig6 m" 20 f6.Config.m;
+  Helpers.check_int "fig6 eps" 5 f6.Config.epsilon;
+  Helpers.check_int "fig6 crashes" 3 f6.Config.crashes;
+  Helpers.check_float "range B starts" 1. (List.hd f6.Config.granularities);
+  Helpers.check_int "six figures" 6 (List.length Config.all_figures);
+  Alcotest.check_raises "figure 7"
+    (Invalid_argument "Config.figure: no figure 7") (fun () ->
+      ignore (Config.figure 7));
+  let quick = Config.with_graphs_per_point f1 3 in
+  Helpers.check_int "override graphs" 3 quick.Config.graphs_per_point;
+  Alcotest.check_raises "bad override"
+    (Invalid_argument "Config.with_graphs_per_point") (fun () ->
+      ignore (Config.with_graphs_per_point f1 0))
+
+let small_campaign () =
+  let config =
+    Config.with_graphs_per_point
+      { (Config.figure 1) with Config.granularities = [ 0.5; 1.5 ] }
+      3
+  in
+  Campaign.run ~seed:99 config
+
+let test_campaign_shape () =
+  let result = small_campaign () in
+  Helpers.check_int "two points" 2 (List.length result.Campaign.points);
+  List.iter
+    (fun (p : Campaign.point) ->
+      Helpers.check_bool "latencies positive" true
+        (p.Campaign.caft.Campaign.latency0 > 0.
+        && p.Campaign.ftsa.Campaign.latency0 > 0.
+        && p.Campaign.ftbar.Campaign.latency0 > 0.);
+      Helpers.check_bool "upper >= latency0" true
+        (p.Campaign.caft.Campaign.upper
+        >= p.Campaign.caft.Campaign.latency0 -. 1e-9);
+      Helpers.check_bool "fault-free below replicated (caft)" true
+        (p.Campaign.fault_free_caft
+        <= p.Campaign.caft.Campaign.latency0 +. 1e-9);
+      Helpers.check_bool "crash latency finite" true
+        (Float.is_finite p.Campaign.caft.Campaign.latency_crash);
+      Helpers.check_bool "messages positive" true
+        (p.Campaign.caft.Campaign.messages > 0.);
+      Helpers.check_bool "edges recorded" true (p.Campaign.edges > 0.))
+    result.Campaign.points;
+  (* granularity ordering preserved *)
+  match result.Campaign.points with
+  | [ a; b ] ->
+      Helpers.check_float "first point g" 0.5 a.Campaign.granularity;
+      Helpers.check_float "second point g" 1.5 b.Campaign.granularity
+  | _ -> Alcotest.fail "expected two points"
+
+let test_campaign_deterministic () =
+  let r1 = small_campaign () and r2 = small_campaign () in
+  List.iter2
+    (fun (a : Campaign.point) (b : Campaign.point) ->
+      Helpers.check_float "same caft latency" a.Campaign.caft.Campaign.latency0
+        b.Campaign.caft.Campaign.latency0;
+      Helpers.check_float "same ftbar overhead"
+        a.Campaign.ftbar.Campaign.overhead_crash
+        b.Campaign.ftbar.Campaign.overhead_crash)
+    r1.Campaign.points r2.Campaign.points
+
+let test_report_rendering () =
+  let result = small_campaign () in
+  let full = Report.render result in
+  Helpers.check_bool "render has panels" true
+    (String.length full > 500);
+  let csv = Report.to_csv result in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+  in
+  Helpers.check_int "csv rows = header + points" 3 (List.length lines);
+  Helpers.check_bool "csv header" true
+    (String.length (List.hd lines) > 20);
+  (* each panel table renders with a row per granularity *)
+  List.iter
+    (fun table ->
+      let s = Text_table.to_string table in
+      let rows = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+      Helpers.check_int "table rows" 4 (List.length rows))
+    [ Report.panel_a result; Report.panel_b result; Report.panel_c result;
+      Report.messages result ]
+
+let test_normalization () =
+  let _, costs = Helpers.random_instance ~seed:61 () in
+  let norm = Campaign.normalization costs in
+  Helpers.check_bool "normalization positive" true (norm > 0.);
+  (* invariant under granularity rescaling (it only touches exec costs) *)
+  let rescaled = Granularity.rescale_to costs 4.0 in
+  Helpers.check_float "normalization invariant" norm
+    (Campaign.normalization rescaled);
+  (* equals mean over edges of volume * mean delay *)
+  let dag = Costs.dag costs in
+  let md = Platform.mean_delay (Costs.platform costs) in
+  let expected =
+    Dag.fold_edges (fun _ _ v acc -> acc +. (v *. md)) dag 0.
+    /. float_of_int (Dag.edge_count dag)
+  in
+  Alcotest.(check (float 1e-9)) "normalization formula" expected norm
+
+let test_bounds () =
+  let dag = Helpers.chain3 () in
+  let platform = Helpers.uniform_platform 2 in
+  let costs = Costs.of_matrix dag platform [| [| 4.; 8. |]; [| 6.; 3. |]; [| 5.; 5. |] |] in
+  (* critical path with fastest execs: 4 + 3 + 5 = 12 *)
+  Helpers.check_float "critical path bound" 12. (Bounds.critical_path costs);
+  (* work bound: (4 + 3 + 5) / 2 = 6 *)
+  Helpers.check_float "work bound" 6. (Bounds.work costs);
+  Helpers.check_float "combined" 12. (Bounds.combined costs);
+  (* a fork spreads: work bound can dominate *)
+  let fork = Families.fork ~volume:0.1 8 in
+  let fcosts = Helpers.flat_costs ~c:10. fork (Helpers.uniform_platform 2) in
+  Helpers.check_float "fork work bound" 45. (Bounds.work fcosts);
+  Helpers.check_bool "fork: work dominates cp" true
+    (Bounds.combined fcosts = 45.)
+
+let test_bounds_hold_for_schedulers () =
+  for seed = 70 to 75 do
+    let _, costs = Helpers.random_instance ~seed () in
+    let lb = Bounds.combined costs in
+    List.iter
+      (fun sched ->
+        Helpers.check_bool "latency >= lower bound" true
+          (Schedule.latency_zero_crash sched >= lb -. 1e-6))
+      [ Heft.run costs; Caft.run ~epsilon:1 costs; Ftsa.run ~epsilon:2 costs ];
+    let heft = Heft.run costs in
+    let eff = Bounds.efficiency costs heft in
+    Helpers.check_bool "efficiency in (0, 1]" true (eff > 0. && eff <= 1. +. 1e-9)
+  done
+
+let test_parallel_map () =
+  let xs = List.init 57 Fun.id in
+  let f x = (x * x) + 1 in
+  Helpers.check_bool "order preserved, all domains" true
+    (Parallel.map ~domains:4 f xs = List.map f xs);
+  Helpers.check_bool "single domain" true
+    (Parallel.map ~domains:1 f xs = List.map f xs);
+  Helpers.check_bool "more domains than items" true
+    (Parallel.map ~domains:64 f [ 1; 2; 3 ] = [ 2; 5; 10 ]);
+  Helpers.check_bool "empty list" true (Parallel.map ~domains:4 f [] = []);
+  Helpers.check_bool "available domains positive" true
+    (Parallel.available_domains () >= 1);
+  (* exceptions propagate *)
+  match
+    Parallel.map ~domains:3 (fun x -> if x = 5 then failwith "boom" else x) xs
+  with
+  | exception Failure msg -> Helpers.check_bool "exn propagates" true (msg = "boom")
+  | _ -> Alcotest.fail "expected exception"
+
+let test_parallel_campaign_identical () =
+  let config =
+    Config.with_graphs_per_point
+      { (Config.figure 1) with Config.granularities = [ 1.0 ] }
+      4
+  in
+  let a = Campaign.run ~domains:1 config in
+  let b = Campaign.run ~domains:4 config in
+  List.iter2
+    (fun (p : Campaign.point) (q : Campaign.point) ->
+      Helpers.check_float "identical caft" p.Campaign.caft.Campaign.latency0
+        q.Campaign.caft.Campaign.latency0;
+      Helpers.check_float "identical stddev"
+        p.Campaign.caft.Campaign.latency0_stddev
+        q.Campaign.caft.Campaign.latency0_stddev)
+    a.Campaign.points b.Campaign.points
+
+let test_gnuplot_script () =
+  let result = small_campaign () in
+  let script = Report.to_gnuplot result ~data:"fig1.csv" in
+  let contains needle =
+    let nl = String.length needle and hl = String.length script in
+    let rec go i = i + nl <= hl && (String.sub script i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Helpers.check_bool "references the data file" true (contains "'fig1.csv'");
+  Helpers.check_bool "three outputs" true
+    (contains "fig1_a.png" && contains "fig1_b.png" && contains "fig1_c.png");
+  Helpers.check_bool "crash series titled with the crash count" true
+    (contains "CAFT With 1 Crash");
+  Helpers.check_bool "csv separator set" true
+    (contains "set datafile separator ','")
+
+let suite =
+  [
+    Alcotest.test_case "gnuplot script" `Slow test_gnuplot_script;
+    Alcotest.test_case "parallel map" `Quick test_parallel_map;
+    Alcotest.test_case "parallel campaign identical" `Slow
+      test_parallel_campaign_identical;
+    Alcotest.test_case "figure configurations" `Quick test_config_figures;
+    Alcotest.test_case "campaign shape" `Slow test_campaign_shape;
+    Alcotest.test_case "campaign determinism" `Slow test_campaign_deterministic;
+    Alcotest.test_case "report rendering" `Slow test_report_rendering;
+    Alcotest.test_case "normalization" `Quick test_normalization;
+    Alcotest.test_case "latency lower bounds" `Quick test_bounds;
+    Alcotest.test_case "bounds hold for schedulers" `Quick
+      test_bounds_hold_for_schedulers;
+  ]

@@ -1,0 +1,90 @@
+(* Tests for the critical-chain explanation. *)
+
+let test_chain_on_hand_schedule () =
+  (* chain 0 -> 1 on one processor: the critical chain is exactly the two
+     replicas linked by the local supply / processor occupancy *)
+  let dag = Dag.make ~n:2 ~edges:[ (0, 1, 5.) ] () in
+  let platform = Helpers.uniform_platform 2 in
+  let costs = Helpers.flat_costs ~c:10. dag platform in
+  let sched = Heft.run costs in
+  let steps = Explain.critical_chain sched in
+  Helpers.check_int "two steps" 2 (List.length steps);
+  (match steps with
+  | [ first; last ] ->
+      Helpers.check_int "origin task" 0 first.Explain.task;
+      Helpers.check_bool "origin is Start" true (first.Explain.via = Explain.Start);
+      Helpers.check_int "final task" 1 last.Explain.task;
+      Helpers.check_float "final finish = latency"
+        (Schedule.latency_zero_crash sched)
+        last.Explain.finish
+  | _ -> Alcotest.fail "expected exactly two steps")
+
+let test_chain_ends_at_latency () =
+  List.iter
+    (fun seed ->
+      let _, costs = Helpers.random_instance ~seed () in
+      let sched = Caft.run ~epsilon:1 costs in
+      let steps = Explain.critical_chain sched in
+      Helpers.check_bool "non-empty" true (steps <> []);
+      let last = List.nth steps (List.length steps - 1) in
+      Helpers.check_float "chain explains the latency"
+        (Schedule.latency_zero_crash sched)
+        last.Explain.finish;
+      let first = List.hd steps in
+      Helpers.check_bool "chain origin at the beginning" true
+        (first.Explain.via = Explain.Start && first.Explain.start >= 0.);
+      (* steps are time-ordered and causally linked *)
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+            Helpers.check_bool "time ordered" true
+              (a.Explain.start <= b.Explain.start +. 1e-9);
+            check rest
+        | _ -> ()
+      in
+      check steps)
+    [ 1; 2; 3; 4 ]
+
+let test_message_link_appears () =
+  (* a 2-task chain forced onto two processors must wait on a message *)
+  let dag = Dag.make ~n:2 ~edges:[ (0, 1, 50.) ] () in
+  let platform = Helpers.uniform_platform 2 in
+  let costs = Costs.of_matrix dag platform [| [| 5.; 500. |]; [| 500.; 5. |] |] in
+  let sched = Heft.run costs in
+  let steps = Explain.critical_chain sched in
+  Helpers.check_bool "message arrival on the chain" true
+    (List.exists
+       (fun s ->
+         match s.Explain.via with
+         | Explain.Message_arrival _ -> true
+         | _ -> false)
+       steps)
+
+let test_comm_share_bounds () =
+  List.iter
+    (fun granularity ->
+      let _, costs = Helpers.random_instance ~seed:5 ~granularity () in
+      let sched = Caft.run ~epsilon:1 costs in
+      let share = Explain.comm_share sched in
+      Helpers.check_bool "share in [0,1]" true (share >= 0. && share <= 1.))
+    [ 0.2; 1.0; 5.0 ];
+  (* communication-free schedule: share 0 *)
+  let dag = Dag.make ~n:4 ~edges:[] () in
+  let costs = Helpers.flat_costs dag (Helpers.uniform_platform 4) in
+  Helpers.check_float "no comm, no share" 0.
+    (Explain.comm_share (Caft.run ~epsilon:1 costs))
+
+let test_pp_renders () =
+  let _, costs = Helpers.random_instance ~seed:6 () in
+  let sched = Ftsa.run ~epsilon:1 costs in
+  let s = Format.asprintf "@[<v>%a@]" Explain.pp (Explain.critical_chain sched) in
+  Helpers.check_bool "pp non-empty" true (String.length s > 40)
+
+let suite =
+  [
+    Alcotest.test_case "chain on hand schedule" `Quick test_chain_on_hand_schedule;
+    Alcotest.test_case "chain ends at the latency" `Quick
+      test_chain_ends_at_latency;
+    Alcotest.test_case "message links appear" `Quick test_message_link_appears;
+    Alcotest.test_case "comm share bounds" `Quick test_comm_share_bounds;
+    Alcotest.test_case "pretty printing" `Quick test_pp_renders;
+  ]

@@ -1,0 +1,38 @@
+let () =
+  Alcotest.run "ftsched"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("heap", Test_heap.suite);
+      ("bitset", Test_bitset.suite);
+      ("text-table", Test_text_table.suite);
+      ("dag", Test_dag.suite);
+      ("classify-dot", Test_classify_dot.suite);
+      ("dot-parse", Test_dot_parse.suite);
+      ("platform", Test_platform.suite);
+      ("netstate", Test_netstate.suite);
+      ("multiport", Test_multiport.suite);
+      ("schedule-validate", Test_schedule.suite);
+      ("explain", Test_explain.suite);
+      ("prio-workspace", Test_prio_workspace.suite);
+      ("replay", Test_replay.suite);
+      ("link-failures", Test_link_failures.suite);
+      ("fault-check", Test_fault_check.suite);
+      ("workload", Test_workload.suite);
+      ("daggen", Test_daggen.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("scale", Test_scale.suite);
+      ("topology", Test_topology.suite);
+      ("fabric", Test_fabric.suite);
+      ("extensions", Test_extensions.suite);
+      ("metrics-io", Test_metrics_io.suite);
+      ("experiments", Test_experiments.suite);
+      ("caft", Test_caft.suite);
+      ("caft-whitebox", Test_caft_whitebox.suite);
+      ("baselines", Test_baselines.suite);
+      ("primary-backup", Test_primary_backup.suite);
+      ("properties", Test_properties.suite);
+      ("properties2", Test_properties2.suite);
+      ("properties3", Test_properties3.suite);
+      ("schedulers-smoke", Test_schedulers_smoke.suite);
+    ]

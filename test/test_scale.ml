@@ -1,0 +1,72 @@
+(* Scalability guard: the schedulers and the replay stay fast and correct
+   well above the paper's instance sizes. *)
+
+let big_instance () =
+  let rng = Rng.create 2024 in
+  let dag =
+    Random_dag.generate rng
+      { Random_dag.default with Random_dag.tasks_min = 300; tasks_max = 300 }
+  in
+  let params = Platform_gen.default ~m:20 () in
+  (dag, Platform_gen.instance rng ~granularity:1.0 params dag)
+
+let test_caft_large () =
+  let dag, costs = big_instance () in
+  let t0 = Unix.gettimeofday () in
+  let sched = Caft.run ~epsilon:3 costs in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Helpers.check_int "all replicas placed"
+    (4 * Dag.task_count dag)
+    (List.length (Schedule.all_replicas sched));
+  Helpers.check_bool "valid" true (Validate.is_valid sched);
+  (* A generous ceiling: the run takes well under a second on any modern
+     machine; catching accidental quadratic-to-cubic regressions is the
+     point, not benchmarking. *)
+  Helpers.check_bool
+    (Printf.sprintf "schedules 300 tasks promptly (%.2fs)" elapsed)
+    true (elapsed < 30.);
+  (* sampled fault check (exhaustive would be C(20,3) = 1140 replays of a
+     large schedule; sample instead) *)
+  let report = Fault_check.check ~max_exhaustive:0 ~samples:25 ~epsilon:3 sched in
+  Helpers.check_bool "resists (sampled)" true report.Fault_check.resists
+
+let test_replay_large () =
+  let _, costs = big_instance () in
+  let sched = Ftsa.run ~epsilon:2 costs in
+  let t0 = Unix.gettimeofday () in
+  let out = Replay.crash_from_start sched ~crashed:[ 0; 7 ] in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Helpers.check_bool "completed" true out.Replay.completed;
+  Helpers.check_bool
+    (Printf.sprintf "replays a 300-task schedule promptly (%.2fs)" elapsed)
+    true (elapsed < 10.)
+
+let test_deep_chain () =
+  (* 400-deep chain: recursion-free paths through the whole stack *)
+  let dag = Families.chain 400 in
+  let platform = Helpers.uniform_platform 4 in
+  let costs = Helpers.flat_costs ~c:3. dag platform in
+  let sched = Caft.run ~epsilon:1 costs in
+  Helpers.check_bool "valid" true (Validate.is_valid sched);
+  Helpers.check_bool "resists" true
+    (Fault_check.check ~epsilon:1 sched).Fault_check.resists;
+  (* the explanation chain spans the whole graph *)
+  let steps = Explain.critical_chain sched in
+  Helpers.check_bool "long critical chain" true (List.length steps >= 400)
+
+let test_wide_fork () =
+  let dag = Families.fork 500 in
+  let platform = Helpers.uniform_platform 10 in
+  let costs = Helpers.flat_costs ~c:7. dag platform in
+  let sched = Caft.run ~epsilon:2 costs in
+  Helpers.check_bool "valid" true (Validate.is_valid sched);
+  Helpers.check_bool "Prop 5.1 at scale" true
+    (Schedule.message_count sched <= Dag.edge_count dag * 3)
+
+let suite =
+  [
+    Alcotest.test_case "CAFT at 300 tasks, m=20, eps=3" `Slow test_caft_large;
+    Alcotest.test_case "replay at 300 tasks" `Slow test_replay_large;
+    Alcotest.test_case "400-deep chain" `Slow test_deep_chain;
+    Alcotest.test_case "500-wide fork" `Slow test_wide_fork;
+  ]

@@ -1,0 +1,288 @@
+(* Unit tests for the schedule representation and its shape checks. *)
+
+let mk_replica ?(inputs = []) ~task ~index ~proc ~start ~finish () =
+  {
+    Schedule.r_task = task;
+    r_index = index;
+    r_proc = proc;
+    r_start = start;
+    r_finish = finish;
+    r_inputs = inputs;
+  }
+
+(* a valid hand-made 1-fault-tolerant schedule of the chain 0 -> 1 *)
+let two_task_sched () =
+  let dag = Dag.make ~n:2 ~edges:[ (0, 1, 10.) ] () in
+  let platform = Helpers.uniform_platform 3 in
+  let costs = Helpers.flat_costs ~c:5. dag platform in
+  let msg ~sproc ~sfinish ~dst ~arrival =
+    Schedule.Message
+      {
+        Netstate.m_source =
+          {
+            Netstate.s_task = 0;
+            s_replica = (if sproc = 0 then 0 else 1);
+            s_proc = sproc;
+            s_finish = sfinish;
+            s_volume = 10.;
+          };
+        m_dst_proc = dst;
+        m_duration = 10.;
+        m_leg_start = arrival -. 10.;
+        m_leg_finish = arrival;
+        m_arrival = arrival;
+      }
+  in
+  let replicas =
+    [
+      mk_replica ~task:0 ~index:0 ~proc:0 ~start:0. ~finish:5. ();
+      mk_replica ~task:0 ~index:1 ~proc:1 ~start:0. ~finish:5. ();
+      mk_replica ~task:1 ~index:0 ~proc:0 ~start:5. ~finish:10.
+        ~inputs:
+          [ Schedule.Local { l_pred = 0; l_pred_replica = 0; l_finish = 5. } ]
+        ();
+      mk_replica ~task:1 ~index:1 ~proc:2 ~start:15. ~finish:20.
+        ~inputs:[ msg ~sproc:1 ~sfinish:5. ~dst:2 ~arrival:15. ]
+        ();
+    ]
+  in
+  Schedule.create ~algorithm:"hand" ~epsilon:1 ~model:Netstate.One_port ~costs
+    replicas
+
+let test_accessors () =
+  let s = two_task_sched () in
+  Helpers.check_int "epsilon" 1 (Schedule.epsilon s);
+  Helpers.check_bool "algorithm" true (Schedule.algorithm s = "hand");
+  Helpers.check_int "replicas of task 0" 2 (Array.length (Schedule.replicas s 0));
+  Helpers.check_int "all replicas" 4 (List.length (Schedule.all_replicas s));
+  Helpers.check_int "messages" 1 (Schedule.message_count s);
+  Helpers.check_int "messages list" 1 (List.length (Schedule.messages s));
+  let on0 = Schedule.on_proc s 0 in
+  Helpers.check_int "two replicas on P0" 2 (List.length on0);
+  Helpers.check_bool "sorted by start" true
+    ((List.nth on0 0).Schedule.r_start <= (List.nth on0 1).Schedule.r_start);
+  Helpers.check_int "nothing beyond" 1 (List.length (Schedule.on_proc s 2))
+
+let test_latencies () =
+  let s = two_task_sched () in
+  (* task 0 first replica finish 5; task 1 first finish 10 -> L0 = 10 *)
+  Helpers.check_float "zero-crash latency" 10. (Schedule.latency_zero_crash s);
+  (* last replicas: 5 and 20 -> UB = 20 *)
+  Helpers.check_float "upper bound" 20. (Schedule.latency_upper_bound s);
+  Helpers.check_float "makespan" 20. (Schedule.makespan s)
+
+let test_shape_violations () =
+  let dag = Dag.make ~n:1 ~edges:[] () in
+  let platform = Helpers.uniform_platform 3 in
+  let costs = Helpers.flat_costs ~c:5. dag platform in
+  let mk = mk_replica ~task:0 in
+  (* missing replica *)
+  (try
+     ignore
+       (Schedule.create ~algorithm:"x" ~epsilon:1 ~model:Netstate.One_port
+          ~costs
+          [ mk ~index:0 ~proc:0 ~start:0. ~finish:5. () ]);
+     Alcotest.fail "missing replica accepted"
+   with Invalid_argument _ -> ());
+  (* same processor twice *)
+  (try
+     ignore
+       (Schedule.create ~algorithm:"x" ~epsilon:1 ~model:Netstate.One_port
+          ~costs
+          [
+            mk ~index:0 ~proc:0 ~start:0. ~finish:5. ();
+            mk ~index:1 ~proc:0 ~start:5. ~finish:10. ();
+          ]);
+     Alcotest.fail "shared processor accepted"
+   with Invalid_argument _ -> ());
+  (* bad replica index *)
+  (try
+     ignore
+       (Schedule.create ~algorithm:"x" ~epsilon:1 ~model:Netstate.One_port
+          ~costs
+          [
+            mk ~index:0 ~proc:0 ~start:0. ~finish:5. ();
+            mk ~index:2 ~proc:1 ~start:0. ~finish:5. ();
+          ]);
+     Alcotest.fail "bad index accepted"
+   with Invalid_argument _ -> ())
+
+let test_validate_accepts_hand_schedule () =
+  let s = two_task_sched () in
+  match Validate.run s with
+  | [] -> ()
+  | vs ->
+      Alcotest.failf "expected valid, got:\n%s"
+        (String.concat "\n"
+           (List.map (fun v -> Format.asprintf "%a" Validate.pp_violation v) vs))
+
+let has_check checks vs =
+  List.exists (fun v -> List.mem v.Validate.check checks) vs
+
+let test_validate_catches_overlap () =
+  (* two tasks overlapping on one processor *)
+  let dag = Dag.make ~n:2 ~edges:[] () in
+  let platform = Helpers.uniform_platform 2 in
+  let costs = Helpers.flat_costs ~c:5. dag platform in
+  let s =
+    Schedule.create ~algorithm:"bad" ~epsilon:0 ~model:Netstate.One_port ~costs
+      [
+        mk_replica ~task:0 ~index:0 ~proc:0 ~start:0. ~finish:5. ();
+        mk_replica ~task:1 ~index:0 ~proc:0 ~start:3. ~finish:8. ();
+      ]
+  in
+  Helpers.check_bool "proc overlap caught" true
+    (has_check [ "proc-exclusive" ] (Validate.run s))
+
+let test_validate_catches_missing_input () =
+  let dag = Dag.make ~n:2 ~edges:[ (0, 1, 1.) ] () in
+  let platform = Helpers.uniform_platform 2 in
+  let costs = Helpers.flat_costs ~c:5. dag platform in
+  let s =
+    Schedule.create ~algorithm:"bad" ~epsilon:0 ~model:Netstate.One_port ~costs
+      [
+        mk_replica ~task:0 ~index:0 ~proc:0 ~start:0. ~finish:5. ();
+        mk_replica ~task:1 ~index:0 ~proc:1 ~start:5. ~finish:10. ();
+      ]
+  in
+  Helpers.check_bool "missing input caught" true
+    (has_check [ "missing-input" ] (Validate.run s))
+
+let test_validate_catches_precedence () =
+  let dag = Dag.make ~n:2 ~edges:[ (0, 1, 1.) ] () in
+  let platform = Helpers.uniform_platform 2 in
+  let costs = Helpers.flat_costs ~c:5. dag platform in
+  (* local supply arrives at 5 but consumer starts at 2 *)
+  let s =
+    Schedule.create ~algorithm:"bad" ~epsilon:0 ~model:Netstate.One_port ~costs
+      [
+        mk_replica ~task:0 ~index:0 ~proc:0 ~start:0. ~finish:5. ();
+        mk_replica ~task:1 ~index:0 ~proc:0 ~start:2. ~finish:7.
+          ~inputs:
+            [ Schedule.Local { l_pred = 0; l_pred_replica = 0; l_finish = 5. } ]
+          ();
+      ]
+  in
+  let vs = Validate.run s in
+  Helpers.check_bool "precedence caught" true
+    (has_check [ "precedence"; "proc-exclusive" ] vs)
+
+let test_validate_catches_duration () =
+  let dag = Dag.make ~n:1 ~edges:[] () in
+  let platform = Helpers.uniform_platform 2 in
+  let costs = Helpers.flat_costs ~c:5. dag platform in
+  let s =
+    Schedule.create ~algorithm:"bad" ~epsilon:0 ~model:Netstate.One_port ~costs
+      [ mk_replica ~task:0 ~index:0 ~proc:0 ~start:0. ~finish:99. () ]
+  in
+  Helpers.check_bool "duration caught" true
+    (has_check [ "duration" ] (Validate.run s))
+
+let test_validate_catches_one_port_violation () =
+  (* two messages into P2 with overlapping reception windows *)
+  let dag = Dag.make ~n:3 ~edges:[ (0, 2, 10.); (1, 2, 10.) ] () in
+  let platform = Helpers.uniform_platform 3 in
+  let costs = Helpers.flat_costs ~c:5. dag platform in
+  let msg sproc sidx arrival =
+    Schedule.Message
+      {
+        Netstate.m_source =
+          {
+            Netstate.s_task = sidx;
+            s_replica = 0;
+            s_proc = sproc;
+            s_finish = 5.;
+            s_volume = 10.;
+          };
+        m_dst_proc = 2;
+        m_duration = 10.;
+        m_leg_start = 5.;
+        m_leg_finish = 15.;
+        m_arrival = arrival;
+      }
+  in
+  let s =
+    Schedule.create ~algorithm:"bad" ~epsilon:0 ~model:Netstate.One_port ~costs
+      [
+        mk_replica ~task:0 ~index:0 ~proc:0 ~start:0. ~finish:5. ();
+        mk_replica ~task:1 ~index:0 ~proc:1 ~start:0. ~finish:5. ();
+        mk_replica ~task:2 ~index:0 ~proc:2 ~start:18. ~finish:23.
+          ~inputs:[ msg 0 0 15.; msg 1 1 18. ]
+          ();
+      ]
+  in
+  Helpers.check_bool "receive overlap caught" true
+    (has_check [ "one-port-recv" ] (Validate.run s));
+  (* the same schedule under macro-dataflow rules is fine *)
+  let s_macro =
+    Schedule.create ~algorithm:"ok" ~epsilon:0 ~model:Netstate.Macro_dataflow
+      ~costs
+      (Schedule.all_replicas s)
+  in
+  Helpers.check_bool "macro model skips port checks" false
+    (has_check [ "one-port-recv" ] (Validate.run s_macro))
+
+let test_validate_catches_causality () =
+  (* message leaves before its source finishes *)
+  let dag = Dag.make ~n:2 ~edges:[ (0, 1, 10.) ] () in
+  let platform = Helpers.uniform_platform 2 in
+  let costs = Helpers.flat_costs ~c:5. dag platform in
+  let s =
+    Schedule.create ~algorithm:"bad" ~epsilon:0 ~model:Netstate.One_port ~costs
+      [
+        mk_replica ~task:0 ~index:0 ~proc:0 ~start:0. ~finish:5. ();
+        mk_replica ~task:1 ~index:0 ~proc:1 ~start:12. ~finish:17.
+          ~inputs:
+            [
+              Schedule.Message
+                {
+                  Netstate.m_source =
+                    {
+                      Netstate.s_task = 0;
+                      s_replica = 0;
+                      s_proc = 0;
+                      s_finish = 5.;
+                      s_volume = 10.;
+                    };
+                  m_dst_proc = 1;
+                  m_duration = 10.;
+                  m_leg_start = 2.;
+                  m_leg_finish = 12.;
+                  m_arrival = 12.;
+                };
+            ]
+          ();
+      ]
+  in
+  Helpers.check_bool "causality caught" true
+    (has_check [ "message-causality" ] (Validate.run s))
+
+let test_gantt_renders () =
+  let _, costs = Helpers.random_instance ~seed:3 () in
+  let sched = Caft.run ~epsilon:1 costs in
+  let g = Gantt.render ~width:60 sched in
+  Helpers.check_bool "gantt non-empty" true (String.length g > 100);
+  let g2 = Gantt.render ~width:60 ~show_comm:true sched in
+  Helpers.check_bool "comm rows add length" true
+    (String.length g2 > String.length g)
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "latencies" `Quick test_latencies;
+    Alcotest.test_case "shape violations" `Quick test_shape_violations;
+    Alcotest.test_case "validator accepts valid" `Quick
+      test_validate_accepts_hand_schedule;
+    Alcotest.test_case "validator: proc overlap" `Quick
+      test_validate_catches_overlap;
+    Alcotest.test_case "validator: missing input" `Quick
+      test_validate_catches_missing_input;
+    Alcotest.test_case "validator: precedence" `Quick
+      test_validate_catches_precedence;
+    Alcotest.test_case "validator: duration" `Quick test_validate_catches_duration;
+    Alcotest.test_case "validator: one-port receive" `Quick
+      test_validate_catches_one_port_violation;
+    Alcotest.test_case "validator: message causality" `Quick
+      test_validate_catches_causality;
+    Alcotest.test_case "gantt renders" `Quick test_gantt_renders;
+  ]

@@ -1,0 +1,136 @@
+(* End-to-end smoke tests: every scheduler produces a valid schedule that
+   resists the requested number of failures, on random and structured
+   instances, under both communication models. *)
+
+let run_and_validate name scheduler ~epsilon costs =
+  let sched = scheduler ~epsilon costs in
+  (match Validate.run sched with
+  | [] -> ()
+  | vs ->
+      Alcotest.failf "%s produced an invalid schedule:\n%s" name
+        (String.concat "\n"
+           (List.map (fun v -> Format.asprintf "%a" Validate.pp_violation v) vs)));
+  sched
+
+let test_valid_on_random () =
+  List.iter
+    (fun (name, scheduler) ->
+      List.iter
+        (fun epsilon ->
+          let _, costs = Helpers.random_instance ~seed:(7 + epsilon) () in
+          let sched = run_and_validate name scheduler ~epsilon costs in
+          Helpers.check_int
+            (Printf.sprintf "%s eps=%d: replica count" name epsilon)
+            ((epsilon + 1) * Dag.task_count (Schedule.dag sched))
+            (List.length (Schedule.all_replicas sched)))
+        [ 0; 1; 2 ])
+    Helpers.schedulers
+
+let test_valid_macro_dataflow () =
+  List.iter
+    (fun epsilon ->
+      let _, costs = Helpers.random_instance ~seed:11 () in
+      List.iter
+        (fun (name, sched) ->
+          match Validate.run sched with
+          | [] -> ()
+          | vs ->
+              Alcotest.failf "%s (macro) invalid:\n%s" name
+                (String.concat "\n"
+                   (List.map
+                      (fun v -> Format.asprintf "%a" Validate.pp_violation v)
+                      vs)))
+        [
+          ("CAFT", Caft.run ~model:Netstate.Macro_dataflow ~epsilon costs);
+          ("FTSA", Ftsa.run ~model:Netstate.Macro_dataflow ~epsilon costs);
+          ("FTBAR", Ftbar.run ~model:Netstate.Macro_dataflow ~epsilon costs);
+        ])
+    [ 0; 1 ]
+
+let test_fault_tolerance () =
+  List.iter
+    (fun (name, scheduler) ->
+      List.iter
+        (fun epsilon ->
+          let _, costs = Helpers.random_instance ~seed:(31 + epsilon) () in
+          let sched = run_and_validate name scheduler ~epsilon costs in
+          let report = Fault_check.check ~epsilon sched in
+          if not report.Fault_check.resists then begin
+            match report.Fault_check.counterexample with
+            | Some (crashed, failed) ->
+                Alcotest.failf
+                  "%s eps=%d does not resist: crash {%s} starves tasks {%s}"
+                  name epsilon
+                  (String.concat "," (List.map string_of_int crashed))
+                  (String.concat "," (List.map string_of_int failed))
+            | None -> Alcotest.failf "%s eps=%d does not resist" name epsilon
+          end)
+        [ 1; 2; 3 ])
+    Helpers.schedulers
+
+let test_caft_beats_ftsa_on_messages () =
+  (* The headline claim: CAFT sends far fewer messages than FTSA for the
+     same fault-tolerance level. *)
+  List.iter
+    (fun seed ->
+      let _, costs = Helpers.random_instance ~seed ~m:8 () in
+      let epsilon = 2 in
+      let caft = Caft.run ~epsilon costs in
+      let ftsa = Ftsa.run ~epsilon costs in
+      if Schedule.message_count caft > Schedule.message_count ftsa then
+        Alcotest.failf "CAFT sends %d messages, FTSA only %d (seed %d)"
+          (Schedule.message_count caft)
+          (Schedule.message_count ftsa)
+          seed)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_zero_crash_replay_matches_static () =
+  List.iter
+    (fun (name, scheduler) ->
+      let _, costs = Helpers.random_instance ~seed:23 () in
+      let sched = run_and_validate name scheduler ~epsilon:1 costs in
+      let out = Replay.fault_free sched in
+      Helpers.check_bool (name ^ ": fault-free replay completes") true
+        out.Replay.completed;
+      Helpers.check_float
+        (name ^ ": fault-free replay latency = static zero-crash latency")
+        (Schedule.latency_zero_crash sched)
+        out.Replay.latency)
+    Helpers.schedulers
+
+let test_entry_exit_heavy_graphs () =
+  (* fork / join / chain corner shapes, epsilon up to m-1 *)
+  let m = 5 in
+  let platform = Helpers.uniform_platform m in
+  List.iter
+    (fun dag ->
+      let costs = Helpers.flat_costs dag platform in
+      List.iter
+        (fun (name, scheduler) ->
+          List.iter
+            (fun epsilon ->
+              let sched = run_and_validate name scheduler ~epsilon costs in
+              let report = Fault_check.check ~epsilon sched in
+              Helpers.check_bool
+                (Printf.sprintf "%s eps=%d resists on structured graph" name
+                   epsilon)
+                true report.Fault_check.resists)
+            [ 1; 3 ])
+        Helpers.schedulers)
+    [ Families.fork 7; Families.join 7; Families.chain 8; Families.fork_join 5 ]
+
+let suite =
+  [
+    Alcotest.test_case "schedules valid on random instances" `Quick
+      test_valid_on_random;
+    Alcotest.test_case "schedules valid under macro-dataflow" `Quick
+      test_valid_macro_dataflow;
+    Alcotest.test_case "schedules resist epsilon crashes" `Slow
+      test_fault_tolerance;
+    Alcotest.test_case "CAFT never sends more messages than FTSA" `Quick
+      test_caft_beats_ftsa_on_messages;
+    Alcotest.test_case "fault-free replay matches static latency" `Quick
+      test_zero_crash_replay_matches_static;
+    Alcotest.test_case "structured graphs, high epsilon" `Slow
+      test_entry_exit_heavy_graphs;
+  ]

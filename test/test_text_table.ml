@@ -1,0 +1,70 @@
+(* Unit tests for table rendering. *)
+
+let test_alignment () =
+  let t =
+    Text_table.create ~aligns:[ Text_table.Left; Text_table.Right ]
+      [ "name"; "value" ]
+  in
+  Text_table.add_row t [ "x"; "1" ];
+  Text_table.add_row t [ "longer"; "22" ];
+  let s = Text_table.to_string t in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: rule :: row1 :: row2 :: _ ->
+      Helpers.check_bool "header starts left" true
+        (String.length header >= 4 && String.sub header 0 4 = "name");
+      Helpers.check_bool "rule is dashes" true (String.contains rule '-');
+      Helpers.check_bool "row1 left-aligned name" true
+        (String.sub row1 0 1 = "x");
+      Helpers.check_bool "row2" true (String.sub row2 0 6 = "longer")
+  | _ -> Alcotest.fail "unexpected table layout");
+  (* right-aligned column: the "1" must be padded on the left *)
+  Helpers.check_bool "right alignment pads" true
+    (let row1 = List.nth lines 2 in
+     String.length row1 > 0 && row1.[String.length row1 - 1] = '1')
+
+let test_arity_check () =
+  let t = Text_table.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Text_table.add_row: arity mismatch") (fun () ->
+      Text_table.add_row t [ "only one" ])
+
+let test_float_cells () =
+  Helpers.check_bool "two decimals" true (Text_table.float_cell 1.234 = "1.23");
+  Helpers.check_bool "custom decimals" true
+    (Text_table.float_cell ~decimals:0 7.8 = "8");
+  Helpers.check_bool "nan renders dash" true (Text_table.float_cell nan = "-")
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_add_float_row () =
+  let t = Text_table.create [ "label"; "x"; "y" ] in
+  Text_table.add_float_row t "row" [ 1.5; 2.25 ];
+  let s = Text_table.to_string t in
+  Helpers.check_bool "row rendered" true
+    (contains ~needle:"1.50" s && contains ~needle:"2.25" s)
+
+let test_csv () =
+  let t = Text_table.create [ "a"; "b" ] in
+  Text_table.add_row t [ "plain"; "with,comma" ];
+  Text_table.add_row t [ "quote\"inside"; "multi\nline" ];
+  let csv = Text_table.to_csv t in
+  let lines = String.split_on_char '\n' csv in
+  Helpers.check_bool "header" true (List.nth lines 0 = "a,b");
+  Helpers.check_bool "comma quoted" true
+    (List.nth lines 1 = "plain,\"with,comma\"");
+  Helpers.check_bool "quote doubled" true
+    (String.length (List.nth lines 2) > 0
+    && List.nth lines 2 <> "quote\"inside,multi")
+
+let suite =
+  [
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "arity check" `Quick test_arity_check;
+    Alcotest.test_case "float cells" `Quick test_float_cells;
+    Alcotest.test_case "add_float_row" `Quick test_add_float_row;
+    Alcotest.test_case "csv escaping" `Quick test_csv;
+  ]
