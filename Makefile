@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples doc clean
+.PHONY: all build test bench examples doc fmt fmt-check clean
 
 all: build
 
@@ -7,6 +7,14 @@ build:
 
 test:
 	dune runtest
+
+# Reformat the tree in place (requires ocamlformat, see .ocamlformat).
+fmt:
+	dune build @fmt --auto-promote
+
+# Fail when any file is not formatted; what CI runs.
+fmt-check:
+	dune build @fmt
 
 bench:
 	dune exec bench/main.exe

@@ -4,6 +4,7 @@
      schedule    build one schedule on a random instance and inspect it
      crash       replay a schedule under a crash scenario
      check       verify epsilon-fault tolerance by exhaustive/sampled replay
+     analyze     static epsilon-resistance certificate, mapping bounds, lints
      inspect     utilization/communication metrics, bounds, save/load
      montecarlo  random fault-injection campaigns on one schedule
      topology    inspect a sparse interconnect and its routing tables
@@ -287,6 +288,120 @@ let inspect_cmd =
        ~doc:"Analyze a schedule: utilization, communication, bounds; save/load")
     term
 
+(* -- analyze ------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let eps_opt_t =
+    let doc =
+      "Tolerance to certify; also drives the replication degree when \
+       building a schedule (default: the schedule's replication degree)."
+    in
+    Arg.(value & opt (some int) None & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc)
+  in
+  let format_t =
+    let doc = "Output format: text or json." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let certificate_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "certificate" ] ~docv:"FILE"
+          ~doc:"Write the standalone resistance certificate (JSON) to FILE.")
+  in
+  let cross_check_t =
+    Arg.(
+      value & flag
+      & info [ "cross-check" ]
+          ~doc:
+            "Also replay crash scenarios with the dynamic checker and \
+             report whether it agrees with the static certificate.")
+  in
+  let load_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Analyze a previously saved schedule instead of building one.")
+  in
+  let domains_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Parallelize per-task certification over N domains.")
+  in
+  let run seed m tasks epsilon granularity algo model family import load format
+      certificate cross_check domains =
+    let sched =
+      match load with
+      | Some path -> Schedule_io.of_file path
+      | None ->
+          let _, costs =
+            make_instance ?import ~seed ~family ~tasks ~m ~granularity ()
+          in
+          run_algo algo ~model ~seed
+            ~epsilon:(Option.value epsilon ~default:1)
+            costs
+    in
+    let report = Analysis_report.analyze ?epsilon ?domains sched in
+    (match format with
+    | `Json -> print_endline (Json.to_string (Analysis_report.to_json report))
+    | `Text ->
+        Format.printf "@[<v>%a@]@?" Analysis_report.pp report;
+        if cross_check then begin
+          match report.Analysis_report.a_resilience with
+          | None ->
+              Format.printf
+                "cross-check: skipped (no static verdict to compare)@."
+          | Some static ->
+              let dynamic =
+                Fault_check.check ~static
+                  ~epsilon:report.Analysis_report.a_epsilon sched
+              in
+              Format.printf
+                "cross-check: replay %s after %d scenarios (%s), static \
+                 certificate %s@."
+                (if dynamic.Fault_check.resists then "resists"
+                 else "does not resist")
+                dynamic.Fault_check.scenarios_checked
+                (if dynamic.Fault_check.exhaustive then "exhaustive"
+                 else "sampled")
+                (match dynamic.Fault_check.static_agrees with
+                | Some true -> "agrees"
+                | Some false -> "DISAGREES"
+                | None -> "not compared")
+        end);
+    Option.iter
+      (fun path ->
+        match report.Analysis_report.a_certificate with
+        | None -> prerr_endline "no certificate to write (analysis overflowed)"
+        | Some c ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (Json.to_string (Certificate.to_json c));
+                output_char oc '\n'))
+      certificate;
+    if not (Analysis_report.ok report) then exit 1
+  in
+  let term =
+    Term.(
+      const run $ seed_t $ m_t $ tasks_t $ eps_opt_t $ granularity_t $ algo_t
+      $ model_t $ family_t $ import_t $ load_t $ format_t $ certificate_t
+      $ cross_check_t $ domains_t)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically certify \xCE\xB5-resistance, verify mapping bounds and \
+          lint the schedule")
+    term
+
 (* -- montecarlo ------------------------------------------------------------ *)
 
 let montecarlo_cmd =
@@ -460,6 +575,6 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [
-         schedule_cmd; crash_cmd; check_cmd; inspect_cmd; montecarlo_cmd;
-         topology_cmd; campaign_cmd;
+         schedule_cmd; crash_cmd; check_cmd; analyze_cmd; inspect_cmd;
+         montecarlo_cmd; topology_cmd; campaign_cmd;
        ]))

@@ -1,0 +1,72 @@
+(** Schedule lint: a rule registry over static schedules.
+
+    Where [Ftsched_sched.Validate] is the strict checker (a non-empty
+    result means the schedule is wrong), lint is the advisory layer: each
+    {e rule} inspects a schedule and reports {e findings} with a rule id,
+    a severity and a location, suitable for text or SARIF-like JSON
+    reporting.  The error-level built-ins (one-port conformance,
+    causality, replica co-location) overlap with the validator by design —
+    they share the {!Intervals} sweep primitives — so that [ftsched
+    analyze] produces a single uniform findings stream; warning- and
+    info-level rules (redundant supplies, idle gaps, granularity) flag
+    smells a valid schedule can still exhibit. *)
+
+type severity = Error | Warning | Info
+
+type location = {
+  l_task : Dag.task option;
+  l_replica : int option;
+  l_proc : Platform.proc option;
+  l_span : (float * float) option;  (** time window the finding refers to *)
+}
+
+val no_loc : location
+
+type finding = {
+  f_rule : string;
+  f_severity : severity;
+  f_loc : location;
+  f_msg : string;
+}
+
+type rule = {
+  rule_id : string;  (** e.g. ["one-port/send"]; unique in the registry *)
+  rule_severity : severity;
+  rule_doc : string;  (** one-line description for [--list-rules] *)
+  rule_check : fabric:Netstate.fabric -> Schedule.t -> finding list;
+}
+
+val builtins : rule list
+(** The built-in rules, in reporting order:
+    ["one-port/send"], ["one-port/recv"], ["one-port/link"] (errors —
+    port and link occupancy under the schedule's communication model),
+    ["causality/message"] (error — a message leg departing before its
+    producer finishes, arriving before the leg completes, or a replica
+    starting before its data),
+    ["replication/colocated"] (error — two replicas of a task on one
+    processor),
+    ["redundancy/duplicate-supply"], ["redundancy/self-message"]
+    (warnings — the same supplier booked twice for one input; a message
+    from the consumer's own processor),
+    ["smell/granularity"] (warning — fine-grain instance, [g < 0.1]:
+    communication dominates computation),
+    ["smell/idle-gap"] (info — a processor idling more than a quarter of
+    the makespan between two consecutive replicas). *)
+
+val register : rule -> unit
+(** Add a rule to the registry, replacing any previous rule with the same
+    id (built-ins can be overridden). *)
+
+val rules : unit -> rule list
+(** Built-ins plus registered rules, registration order. *)
+
+val run : ?fabric:Netstate.fabric -> ?rules:rule list -> Schedule.t -> finding list
+(** Run the rules (default: the full registry) and return the findings
+    sorted by decreasing severity, registry order within one severity.
+    [fabric] defaults to the clique, as in {!Validate.run}. *)
+
+val errors : finding list -> int
+(** Number of error-level findings. *)
+
+val severity_to_string : severity -> string
+val pp_finding : Format.formatter -> finding -> unit

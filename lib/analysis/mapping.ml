@@ -1,0 +1,90 @@
+type join_class = One_to_one | Fallback | Mixed | Invalid
+
+type join = {
+  jn_pred : Dag.task;
+  jn_succ : Dag.task;
+  jn_class : join_class;
+  jn_messages : int;
+}
+
+type report = {
+  mp_epsilon : int;
+  mp_joins : join array;
+  mp_total_messages : int;
+  mp_linear_bound : int;
+  mp_quadratic_bound : int;
+  mp_all_one_to_one : bool;
+  mp_within_linear : bool;
+  mp_within_quadratic : bool;
+  mp_out_forest : bool;
+}
+
+let classify_join sg ~eps1 ~pred ~succ =
+  let per_replica =
+    Array.init eps1 (fun i ->
+        Supply_graph.supplier_indices sg ~task:succ ~replica:i ~pred)
+  in
+  if Array.exists (fun sups -> sups = []) per_replica then Invalid
+  else if
+    Array.for_all (fun sups -> List.compare_length_with sups 1 = 0) per_replica
+  then begin
+    let chosen = Array.map List.hd per_replica in
+    let distinct =
+      List.length (List.sort_uniq compare (Array.to_list chosen)) = eps1
+    in
+    if distinct then One_to_one else Mixed
+  end
+  else if
+    Array.for_all
+      (fun sups -> List.compare_length_with sups eps1 = 0)
+      per_replica
+  then Fallback
+  else Mixed
+
+let verify sched =
+  let dag = Schedule.dag sched in
+  let epsilon = Schedule.epsilon sched in
+  let eps1 = epsilon + 1 in
+  let e = Dag.edge_count dag in
+  let sg = Supply_graph.build sched in
+  let joins =
+    Dag.fold_edges
+      (fun pred succ _volume acc ->
+        {
+          jn_pred = pred;
+          jn_succ = succ;
+          jn_class = classify_join sg ~eps1 ~pred ~succ;
+          jn_messages = Supply_graph.join_message_count sg ~pred ~succ;
+        }
+        :: acc)
+      dag []
+    |> List.rev |> Array.of_list
+  in
+  let total = Schedule.message_count sched in
+  let linear = e * eps1 in
+  let quadratic = e * eps1 * eps1 in
+  let all_one_to_one =
+    Array.for_all (fun j -> j.jn_class = One_to_one) joins
+  in
+  {
+    mp_epsilon = epsilon;
+    mp_joins = joins;
+    mp_total_messages = total;
+    mp_linear_bound = linear;
+    mp_quadratic_bound = quadratic;
+    mp_all_one_to_one = all_one_to_one;
+    mp_within_linear = total <= linear;
+    mp_within_quadratic = total <= quadratic;
+    mp_out_forest = Classify.is_out_forest dag;
+  }
+
+let class_to_string = function
+  | One_to_one -> "one-to-one"
+  | Fallback -> "fallback"
+  | Mixed -> "mixed"
+  | Invalid -> "invalid"
+
+let count report cls =
+  Array.fold_left
+    (fun acc j -> if j.jn_class = cls then acc + 1 else acc)
+    0 report.mp_joins

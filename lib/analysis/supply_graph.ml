@@ -1,0 +1,70 @@
+type kind = Colocated | Remote
+
+type supplier = { sp_replica : int; sp_kind : kind }
+
+type t = {
+  sched : Schedule.t;
+  (* per task, per replica index, assoc list pred -> suppliers in input
+     order *)
+  by_replica : (Dag.task * supplier list) list array array;
+}
+
+let build sched =
+  let dag = Schedule.dag sched in
+  let v = Dag.task_count dag in
+  let eps1 = Schedule.epsilon sched + 1 in
+  let by_replica = Array.init v (fun _ -> Array.make eps1 []) in
+  List.iter
+    (fun (r : Schedule.replica) ->
+      let entry (supply : Schedule.supply) =
+        match supply with
+        | Schedule.Local { l_pred; l_pred_replica; _ } ->
+            (l_pred, { sp_replica = l_pred_replica; sp_kind = Colocated })
+        | Schedule.Message m ->
+            ( m.Netstate.m_source.Netstate.s_task,
+              {
+                sp_replica = m.Netstate.m_source.Netstate.s_replica;
+                sp_kind = Remote;
+              } )
+      in
+      let supplies =
+        List.filter_map
+          (fun s ->
+            let pred, sup = entry s in
+            if sup.sp_replica < 0 || sup.sp_replica >= eps1 then None
+            else Some (pred, sup))
+          r.Schedule.r_inputs
+      in
+      let preds = List.sort_uniq compare (List.map fst supplies) in
+      by_replica.(r.Schedule.r_task).(r.Schedule.r_index) <-
+        List.map
+          (fun pred ->
+            ( pred,
+              List.filter_map
+                (fun (p, sup) -> if p = pred then Some sup else None)
+                supplies ))
+          preds)
+    (Schedule.all_replicas sched);
+  { sched; by_replica }
+
+let schedule t = t.sched
+
+let suppliers t ~task ~replica ~pred =
+  match List.assoc_opt pred t.by_replica.(task).(replica) with
+  | Some sups -> sups
+  | None -> []
+
+let supplier_indices t ~task ~replica ~pred =
+  suppliers t ~task ~replica ~pred
+  |> List.map (fun s -> s.sp_replica)
+  |> List.sort_uniq compare
+
+let join_message_count t ~pred ~succ =
+  let eps1 = Schedule.epsilon t.sched + 1 in
+  let count = ref 0 in
+  for i = 0 to eps1 - 1 do
+    List.iter
+      (fun s -> if s.sp_kind = Remote then incr count)
+      (suppliers t ~task:succ ~replica:i ~pred)
+  done;
+  !count

@@ -1,0 +1,41 @@
+(** The replica supply graph of a schedule.
+
+    Static analysis views a schedule as a bipartite structure per DAG
+    edge (a {e join}): which replicas of the predecessor supply data to
+    which replicas of the successor, and whether each supply is a
+    co-located hand-off or an inter-processor message.  This module
+    extracts that structure once from the [Schedule.t] supply records so
+    that the certifier ({!Resilience}), the Proposition 5.1 verifier
+    ({!Mapping}) and the lint rules all read the same normalized view
+    instead of re-walking [r_inputs] lists. *)
+
+type kind =
+  | Colocated  (** a [Schedule.Local] supply — same processor, no message *)
+  | Remote  (** a [Schedule.Message] supply — a booked link leg *)
+
+type supplier = {
+  sp_replica : int;  (** replica index of the predecessor task *)
+  sp_kind : kind;
+}
+
+type t
+
+val build : Schedule.t -> t
+(** One pass over all replicas.  Supplies referencing replica indices
+    outside [0 .. epsilon] are dropped here (the validator reports them);
+    duplicates are preserved so lint can flag them. *)
+
+val schedule : t -> Schedule.t
+
+val suppliers : t -> task:Dag.task -> replica:int -> pred:Dag.task -> supplier list
+(** Every supply of [pred]'s data booked for replica [replica] of [task],
+    in the order the supplies appear in [r_inputs].  Empty when the
+    schedule books no supply for that predecessor (a validation error). *)
+
+val supplier_indices : t -> task:Dag.task -> replica:int -> pred:Dag.task -> int list
+(** Deduplicated, sorted replica indices of the suppliers. *)
+
+val join_message_count : t -> pred:Dag.task -> succ:Dag.task -> int
+(** Number of {!Remote} supplies booked across all replicas of [succ] for
+    predecessor [pred] — the join's contribution to the schedule's
+    communication count. *)

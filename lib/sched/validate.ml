@@ -2,68 +2,38 @@ type violation = { check : string; detail : string }
 
 let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.check v.detail
 
-let overlap_violations ~check ~describe intervals =
-  (* [intervals]: (start, finish, payload) list.  Zero-length intervals
-     never conflict. *)
-  let sorted =
-    List.sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) intervals
-  in
-  (* Sweep with the furthest finish seen so far, so containment of several
-     later intervals is also caught. *)
-  let rec go acc frontier = function
-    | [] -> acc
-    | (s, f, p) :: rest ->
-        let acc =
-          match frontier with
-          | Some (fmax, pmax) when fmax > s +. Flt.eps && f > s +. Flt.eps ->
-              {
-                check;
-                detail =
-                  Printf.sprintf "%s overlaps %s (running until %.6f, next starts %.6f)"
-                    (describe pmax) (describe p) fmax s;
-              }
-              :: acc
-          | _ -> acc
-        in
-        let frontier =
-          match frontier with
-          | Some (fmax, _) when fmax >= f -> frontier
-          | _ -> Some (f, p)
-        in
-        go acc frontier rest
-  in
-  go [] None sorted
+(* Both sweeps live in [Ftsched_util.Intervals]; these wrappers only
+   translate interval conflicts into [violation] records.  [intervals]:
+   (start, finish, payload) list.  Zero-length intervals never conflict. *)
 
-(* at most [capacity] of the intervals may overlap at any instant;
-   zero-length intervals never conflict *)
+let bounds (s, f, _) = (s, f)
+let payload (_, _, p) = p
+
+let overlap_violations ~check ~describe intervals =
+  Intervals.overlaps ~bounds intervals
+  |> List.rev_map (fun ov ->
+         {
+           check;
+           detail =
+             Printf.sprintf
+               "%s overlaps %s (running until %.6f, next starts %.6f)"
+               (describe (payload ov.Intervals.ov_running))
+               (describe (payload ov.Intervals.ov_starter))
+               ov.Intervals.ov_running_until ov.Intervals.ov_starts;
+         })
+
+(* at most [capacity] of the intervals may overlap at any instant *)
 let depth_violations ~capacity ~check ~describe intervals =
   if capacity = 1 then overlap_violations ~check ~describe intervals
-  else begin
-    let events =
-      List.concat_map
-        (fun (s, f, p) ->
-          if f -. s <= Flt.eps then []
-          else [ (s +. Flt.eps, 1, (s, f, p)); (f -. Flt.eps, -1, (s, f, p)) ])
-        intervals
-    in
-    let events = List.sort (fun (t1, d1, _) (t2, d2, _) -> compare (t1, d1) (t2, d2)) events in
-    let depth = ref 0 in
-    let bad = ref [] in
-    List.iter
-      (fun (_, d, (s, f, p)) ->
-        depth := !depth + d;
-        if d > 0 && !depth > capacity then
-          bad :=
-            {
-              check;
-              detail =
-                Printf.sprintf "%s exceeds port capacity %d ([%.6f,%.6f])"
-                  (describe p) capacity s f;
-            }
-            :: !bad)
-      events;
-    !bad
-  end
+  else
+    Intervals.exceeding ~capacity ~bounds intervals
+    |> List.rev_map (fun (x, s, f) ->
+           {
+             check;
+             detail =
+               Printf.sprintf "%s exceeds port capacity %d ([%.6f,%.6f])"
+                 (describe (payload x)) capacity s f;
+           })
 
 let describe_replica (r : Schedule.replica) =
   Printf.sprintf "task %d replica %d on P%d" r.Schedule.r_task r.Schedule.r_index

@@ -29,3 +29,27 @@ val check_exn : ?fabric:Netstate.fabric -> Schedule.t -> unit
 (** Raises [Failure] listing every violation, if any. *)
 
 val pp_violation : Format.formatter -> violation -> unit
+
+(** {1 Interval sweeps}
+
+    Thin wrappers over [Ftsched_util.Intervals] producing [violation]
+    records; exposed so analyses and tests can exercise the exact sweep
+    semantics the validator uses.  Intervals are [(start, finish,
+    payload)] triples; zero-length intervals (within [Flt.eps]) never
+    conflict. *)
+
+val overlap_violations :
+  check:string ->
+  describe:('a -> string) ->
+  (float * float * 'a) list ->
+  violation list
+(** One violation per interval that starts strictly inside another. *)
+
+val depth_violations :
+  capacity:int ->
+  check:string ->
+  describe:('a -> string) ->
+  (float * float * 'a) list ->
+  violation list
+(** One violation per interval whose start raises the overlap depth above
+    [capacity].  [capacity = 1] degenerates to {!overlap_violations}. *)

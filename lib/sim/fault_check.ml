@@ -4,20 +4,74 @@ type report = {
   exhaustive : bool;
   counterexample : (Platform.proc list * Dag.task list) option;
   worst_latency : float;
+  static_agrees : bool option;
 }
 
+(* -- crash-set enumeration --------------------------------------------- *)
+
+(* The hot path iterates increasing k-subsets of [0, n-1] with an in-place
+   index array and an incrementally-maintained Bitset mask — no per-subset
+   allocation.  [f mask idx] must not retain either argument; it returns
+   [false] to stop the enumeration early. *)
+let iter_subsets ~n ~k f =
+  if k = 0 then ignore (f (Bitset.create (max n 0)) [||])
+  else if k > 0 && k <= n then begin
+    let idx = Array.init k (fun i -> i) in
+    let mask = Bitset.create n in
+    Array.iter (Bitset.add mask) idx;
+    let continue = ref true in
+    while !continue do
+      if not (f mask idx) then continue := false
+      else begin
+        (* lexicographic successor: bump the rightmost index that still
+           has room, reset the suffix right after it *)
+        let i = ref (k - 1) in
+        while !i >= 0 && idx.(!i) = n - k + !i do
+          decr i
+        done;
+        if !i < 0 then continue := false
+        else begin
+          for j = !i to k - 1 do
+            Bitset.remove mask idx.(j)
+          done;
+          idx.(!i) <- idx.(!i) + 1;
+          for j = !i + 1 to k - 1 do
+            idx.(j) <- idx.(j - 1) + 1
+          done;
+          for j = !i to k - 1 do
+            Bitset.add mask idx.(j)
+          done
+        end
+      end
+    done
+  end
+
+(* thin wrapper for tests: same subsets, as materialized lists *)
 let combinations n k =
-  (* lazily enumerate increasing k-subsets of [0, n-1] *)
-  let rec from lo k () =
-    if k = 0 then Seq.Cons ([], Seq.empty)
-    else if lo > n - k then Seq.Nil
-    else
-      Seq.append
-        (Seq.map (fun rest -> lo :: rest) (from (lo + 1) (k - 1)))
-        (from (lo + 1) k)
-        ()
-  in
-  if k < 0 || k > n then Seq.empty else from 0 k
+  if k < 0 || k > n then Seq.empty
+  else if k = 0 then Seq.return []
+  else
+    let first = Array.init k (fun i -> i) in
+    let successor idx =
+      let idx = Array.copy idx in
+      let i = ref (k - 1) in
+      while !i >= 0 && idx.(!i) = n - k + !i do
+        decr i
+      done;
+      if !i < 0 then None
+      else begin
+        idx.(!i) <- idx.(!i) + 1;
+        for j = !i + 1 to k - 1 do
+          idx.(j) <- idx.(j - 1) + 1
+        done;
+        Some idx
+      end
+    in
+    Seq.unfold
+      (function
+        | None -> None
+        | Some idx -> Some (Array.to_list idx, successor idx))
+      (Some first)
 
 let count_combinations n k =
   if k < 0 || k > n then 0
@@ -32,36 +86,68 @@ let count_combinations n k =
     go 1 1
   end
 
-let check ?(max_exhaustive = 20000) ?(samples = 1000) ?(seed = 7) ~epsilon sched =
+(* -- the check --------------------------------------------------------- *)
+
+let check ?(max_exhaustive = 20000) ?(samples = 1000) ?(seed = 7) ?static
+    ~epsilon sched =
   let m = Platform.proc_count (Schedule.platform sched) in
   let epsilon = min epsilon m in
   let total = count_combinations m epsilon in
   let exhaustive = total <= max_exhaustive in
-  let scenarios =
-    if exhaustive then combinations m epsilon
-    else begin
-      let rng = Rng.create seed in
-      Seq.init samples (fun _ -> Rng.sample_without_replacement rng epsilon m)
-    end
-  in
   let checked = ref 0 in
   let counterexample = ref None in
   let worst = ref nan in
-  Seq.iter
-    (fun crashed ->
-      if !counterexample = None then begin
-        incr checked;
-        let out = Replay.crash_from_start sched ~crashed in
-        if not out.Replay.completed then
-          counterexample := Some (crashed, out.Replay.failed_tasks)
-        else if Float.is_nan !worst || out.Replay.latency > !worst then
-          worst := out.Replay.latency
-      end)
-    scenarios;
+  let try_scenario crashed =
+    incr checked;
+    let out = Replay.crash_from_start sched ~crashed in
+    if not out.Replay.completed then begin
+      counterexample := Some (crashed, out.Replay.failed_tasks);
+      false
+    end
+    else begin
+      if Float.is_nan !worst || out.Replay.latency > !worst then
+        worst := out.Replay.latency;
+      true
+    end
+  in
+  if exhaustive then
+    iter_subsets ~n:m ~k:epsilon (fun _mask idx ->
+        try_scenario (Array.to_list idx))
+  else begin
+    let rng = Rng.create seed in
+    let i = ref 0 in
+    while !i < samples && !counterexample = None do
+      incr i;
+      ignore (try_scenario (Rng.sample_without_replacement rng epsilon m))
+    done
+  end;
+  (* Cross-validation against the static supply-graph certificate.  The
+     static verdict is exact, so in exhaustive mode the two must agree
+     outright.  In sampled mode the replay may have missed the refuting
+     crash set — replay the static counterexample before judging, and
+     adopt it when the replay confirms it. *)
+  let static_agrees =
+    match static with
+    | None -> None
+    | Some (st : Resilience.report) -> (
+        match (st.Resilience.rs_counterexample, !counterexample) with
+        | None, None -> Some true
+        | None, Some _ -> Some false
+        | Some _, Some _ -> Some true
+        | Some (crashed, _), None ->
+            let out = Replay.crash_from_start sched ~crashed in
+            incr checked;
+            if not out.Replay.completed then begin
+              counterexample := Some (crashed, out.Replay.failed_tasks);
+              Some true
+            end
+            else Some false)
+  in
   {
     resists = !counterexample = None;
     scenarios_checked = !checked;
     exhaustive;
     counterexample = !counterexample;
     worst_latency = !worst;
+    static_agrees;
   }

@@ -7,7 +7,15 @@
     processor can only remove supplies), so checking all subsets of size
     exactly [epsilon] is sufficient; this module enumerates them
     exhaustively when the count is reasonable and falls back to random
-    sampling otherwise. *)
+    sampling otherwise.
+
+    The exhaustive enumeration runs over in-place [Ftsched_util.Bitset]
+    crash masks (no per-subset allocation); {!combinations} remains as a
+    list-producing wrapper for tests.
+
+    For an {e exact} verdict without enumeration, see
+    [Ftsched_analysis.Resilience]; pass its report as [?static] to
+    {!check} to cross-validate the two. *)
 
 type report = {
   resists : bool;
@@ -18,12 +26,18 @@ type report = {
   worst_latency : float;
       (** largest real execution time over the completed scenarios
           checked; [nan] if none completed *)
+  static_agrees : bool option;
+      (** [None] when no [?static] report was given; otherwise whether
+          the static certificate and the replay verdict agree.  In
+          sampled mode a static counterexample is replayed first and
+          adopted when the replay confirms it. *)
 }
 
 val check :
   ?max_exhaustive:int ->
   ?samples:int ->
   ?seed:int ->
+  ?static:Resilience.report ->
   epsilon:int ->
   Schedule.t ->
   report
@@ -33,11 +47,19 @@ val check :
     (default 1000) random subsets are drawn with [seed] (default 7).
     [epsilon] may differ from the schedule's replication degree — e.g. to
     show that an [epsilon]-replicated schedule does {e not} in general
-    resist [epsilon + 1] failures. *)
+    resist [epsilon + 1] failures.
+
+    [static] cross-validates against a static ε-resistance report from
+    [Ftsched_analysis.Resilience.certify]: the result's [static_agrees]
+    records the comparison, and in sampled mode a refuting crash set from
+    the certificate is replayed and adopted as [counterexample] when
+    confirmed, making the sampled verdict exact whenever the static
+    analysis found a refutation. *)
 
 val combinations : int -> int -> int list Seq.t
 (** [combinations n k] enumerates all increasing [k]-subsets of
-    [\[0, n-1\]] (exposed for tests). *)
+    [\[0, n-1\]] in lexicographic order (thin wrapper over the Bitset
+    enumeration, exposed for tests). *)
 
 val count_combinations : int -> int -> int
 (** Binomial coefficient, saturating at [max_int]. *)
