@@ -7,7 +7,15 @@
      dune exec bench/main.exe                      # everything, paper sizes
      dune exec bench/main.exe -- --figure 1 --graphs 10
      dune exec bench/main.exe -- --table outforest
-     dune exec bench/main.exe -- --bechamel *)
+     dune exec bench/main.exe -- --bechamel
+
+   Besides the pretty-printed tables, every run emits a machine-readable
+   summary (campaign wall-clock per figure, bechamel estimates, run
+   metadata) to BENCH_schedulers.json; see --json. *)
+
+(* accumulators for the machine-readable report *)
+let figure_timings : (int * float * int) list ref = ref []
+let bechamel_estimates : (string * float) list ref = ref []
 
 let run_figures figures graphs seed domains =
   List.iter
@@ -18,11 +26,11 @@ let run_figures figures graphs seed domains =
         | Some g -> Config.with_graphs_per_point config g
         | None -> config
       in
-      let result =
-        Campaign.run ~seed ?domains
-          ~progress:(fun msg -> Printf.eprintf "  %s\n%!" msg)
-          config
-      in
+      let t0 = Obs_clock.now () in
+      let result = Campaign.run ~seed ?domains config in
+      let wall = Obs_clock.now () -. t0 in
+      figure_timings :=
+        !figure_timings @ [ (n, wall, List.length result.Campaign.points) ];
       print_string (Report.render result);
       print_newline ())
     figures
@@ -628,12 +636,61 @@ let bechamel_benches () =
             | Some [ e ] -> e
             | _ -> nan
           in
+          bechamel_estimates := !bechamel_estimates @ [ (name, ns) ];
           Text_table.add_row t
             [ name; Printf.sprintf "%.3f ms" (ns /. 1e6) ])
         rows;
       Text_table.print t)
     results;
   print_newline ()
+
+(* -- machine-readable summary ------------------------------------------ *)
+
+let write_bench_json path ~seed ~graphs ~domains =
+  let opt_int = function None -> Json.Null | Some n -> Json.Int n in
+  let float_or_null x = if Float.is_nan x then Json.Null else Json.Float x in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "ftsched/bench/v1");
+        ( "meta",
+          Json.Obj
+            [
+              ("seed", Json.Int seed);
+              ("graphs_per_point", opt_int graphs);
+              ("domains", opt_int domains);
+              ( "recommended_domains",
+                Json.Int (Domain.recommended_domain_count ()) );
+            ] );
+        ( "figures",
+          Json.List
+            (List.map
+               (fun (n, wall, points) ->
+                 Json.Obj
+                   [
+                     ("figure", Json.Int n);
+                     ("points", Json.Int points);
+                     ("wall_seconds", Json.Float wall);
+                   ])
+               !figure_timings) );
+        ( "bechamel",
+          Json.List
+            (List.map
+               (fun (name, ns) ->
+                 Json.Obj
+                   [ ("name", Json.String name); ("ns_per_run", float_or_null ns) ])
+               !bechamel_estimates) );
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~indent:2 json);
+      output_char oc '\n');
+  Obs_log.info "wrote %s (%d figures, %d bechamel estimates)" path
+    (List.length !figure_timings)
+    (List.length !bechamel_estimates)
 
 (* -- command line ------------------------------------------------------ *)
 
@@ -645,6 +702,7 @@ let () =
   let tables = ref [] in
   let bechamel = ref false in
   let all = ref true in
+  let json = ref "BENCH_schedulers.json" in
   let speclist =
     [
       ( "--figure",
@@ -672,6 +730,10 @@ let () =
             all := false;
             bechamel := true),
         "  run the bechamel micro-benchmarks only" );
+      ( "--json",
+        Arg.Set_string json,
+        "FILE  machine-readable summary (default BENCH_schedulers.json; \
+         empty to skip)" );
     ]
   in
   Arg.parse speclist
@@ -705,7 +767,9 @@ let () =
         | "links" -> links_table !graphs !seed
         | "passive" -> passive_table !graphs !seed
         | "models" -> models_table !graphs !seed
-        | other -> Printf.eprintf "unknown table %s\n" other)
+        | other -> Obs_log.warn "unknown table %s" other)
       !tables;
     if !bechamel then bechamel_benches ()
-  end
+  end;
+  if !json <> "" then
+    write_bench_json !json ~seed:!seed ~graphs:!graphs ~domains:!domains

@@ -116,6 +116,74 @@ let run_algo algo ~model ~seed ~epsilon costs =
   | `Ftbar -> Ftbar.run ~model ~seed ~epsilon costs
   | `Heft -> Heft.run ~model ~seed costs
 
+(* -- observability ------------------------------------------------------ *)
+
+type obs = {
+  o_trace : string option;
+  o_metrics : bool;
+  o_metrics_format : [ `Text | `Json ];
+  o_metrics_out : string option;
+}
+
+let obs_t =
+  let trace_t =
+    let doc =
+      "Record a Chrome trace-event timeline of the run and write it to \
+       $(docv) (loadable in Perfetto or chrome://tracing)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_t =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Collect scheduler metrics (decision counters, contention \
+             histograms) and print them after the command output.")
+  in
+  let metrics_format_t =
+    let doc = "Metrics dump format: text or json." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "metrics-format" ] ~docv:"FMT" ~doc)
+  in
+  let metrics_out_t =
+    let doc = "Write the metrics dump to $(docv) instead of stdout." in
+    Arg.(
+      value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let mk o_trace o_metrics o_metrics_format o_metrics_out =
+    { o_trace; o_metrics; o_metrics_format; o_metrics_out }
+  in
+  Term.(const mk $ trace_t $ metrics_t $ metrics_format_t $ metrics_out_t)
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+(* Runs a command body with tracing/metrics switched on as requested and
+   dumps both afterwards.  The body returns its exit code (instead of
+   calling [exit]) so failure paths still get their dumps. *)
+let with_obs obs f =
+  if obs.o_metrics then Obs.Metrics.set_enabled true;
+  if obs.o_trace <> None then Obs.Trace.start ();
+  let code = f () in
+  Option.iter Obs.Trace.write obs.o_trace;
+  if obs.o_metrics then begin
+    let dump =
+      match obs.o_metrics_format with
+      | `Text -> Text_table.to_string (Obs.Metrics.to_table ()) ^ "\n"
+      | `Json -> Json.to_string (Obs.Metrics.to_json ()) ^ "\n"
+    in
+    match obs.o_metrics_out with
+    | None -> print_string dump
+    | Some path -> write_file path dump
+  end;
+  if code <> 0 then exit code
+
 (* -- schedule ----------------------------------------------------------- *)
 
 let schedule_cmd =
@@ -133,7 +201,8 @@ let schedule_cmd =
       & opt (some string) None
       & info [ "dot" ] ~docv:"FILE" ~doc:"Export the task graph in DOT format.")
   in
-  let run seed m tasks epsilon granularity algo model family import gantt show_comm dot =
+  let run seed m tasks epsilon granularity algo model family import gantt show_comm dot obs =
+    with_obs obs @@ fun () ->
     let dag, costs = make_instance ?import ~seed ~family ~tasks ~m ~granularity () in
     let sched = run_algo algo ~model ~seed ~epsilon costs in
     Format.printf "%a@." Schedule.pp_summary sched;
@@ -146,12 +215,13 @@ let schedule_cmd =
         Format.printf "validation: %d violations@." (List.length vs);
         List.iter (fun v -> Format.printf "  %a@." Validate.pp_violation v) vs);
     if gantt then Gantt.print ~show_comm sched;
-    Option.iter (fun path -> Dot.to_file path dag) dot
+    Option.iter (fun path -> Dot.to_file path dag) dot;
+    0
   in
   let term =
     Term.(
       const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
-      $ model_t $ family_t $ import_t $ gantt_t $ comm_t $ dot_t)
+      $ model_t $ family_t $ import_t $ gantt_t $ comm_t $ dot_t $ obs_t)
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Build one fault-tolerant schedule and inspect it")
@@ -172,7 +242,8 @@ let crash_cmd =
       & info [ "random-crashes" ] ~docv:"K"
           ~doc:"Crash K processors chosen uniformly instead of --crash.")
   in
-  let run seed m tasks epsilon granularity algo model family crashed random_crashes =
+  let run seed m tasks epsilon granularity algo model family crashed random_crashes obs =
+    with_obs obs @@ fun () ->
     let _, costs = make_instance ~seed ~family ~tasks ~m ~granularity () in
     let sched = run_algo algo ~model ~seed ~epsilon costs in
     let crashed =
@@ -191,19 +262,21 @@ let crash_cmd =
       Format.printf "replay: completed, real latency %.3f@." out.Replay.latency
     else
       Format.printf "replay: FAILED, starved tasks {%s}@."
-        (String.concat "," (List.map string_of_int out.Replay.failed_tasks))
+        (String.concat "," (List.map string_of_int out.Replay.failed_tasks));
+    0
   in
   let term =
     Term.(
       const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
-      $ model_t $ family_t $ crashed_t $ random_t)
+      $ model_t $ family_t $ crashed_t $ random_t $ obs_t)
   in
   Cmd.v (Cmd.info "crash" ~doc:"Replay a schedule under processor failures") term
 
 (* -- check -------------------------------------------------------------- *)
 
 let check_cmd =
-  let run seed m tasks epsilon granularity algo model family =
+  let run seed m tasks epsilon granularity algo model family obs =
+    with_obs obs @@ fun () ->
     let _, costs = make_instance ~seed ~family ~tasks ~m ~granularity () in
     let sched = run_algo algo ~model ~seed ~epsilon costs in
     let report = Fault_check.check ~epsilon sched in
@@ -220,12 +293,12 @@ let check_cmd =
         Format.printf "counterexample: crash {%s} starves tasks {%s}@."
           (String.concat "," (List.map string_of_int crashed))
           (String.concat "," (List.map string_of_int failed)));
-    if not report.Fault_check.resists then exit 1
+    if report.Fault_check.resists then 0 else 1
   in
   let term =
     Term.(
       const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
-      $ model_t $ family_t)
+      $ model_t $ family_t $ obs_t)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Verify fault tolerance by crash-set enumeration")
@@ -421,7 +494,8 @@ let montecarlo_cmd =
             "Crash at uniform random instants within the schedule horizon \
              instead of from time zero.")
   in
-  let run seed m tasks epsilon granularity algo model family runs crashes timed =
+  let run seed m tasks epsilon granularity algo model family runs crashes timed obs =
+    with_obs obs @@ fun () ->
     let _, costs = make_instance ~seed ~family ~tasks ~m ~granularity () in
     let sched = run_algo algo ~model ~seed ~epsilon costs in
     let mode =
@@ -435,12 +509,13 @@ let montecarlo_cmd =
       (if timed then "timed" else "from-start")
       (Schedule.latency_zero_crash sched);
     let report = Monte_carlo.run ~seed:(seed + 1) ~runs ~crashes ~mode sched in
-    Format.printf "%a@." Monte_carlo.pp report
+    Format.printf "%a@." Monte_carlo.pp report;
+    0
   in
   let term =
     Term.(
       const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
-      $ model_t $ family_t $ runs_t $ crashes_t $ timed_t)
+      $ model_t $ family_t $ runs_t $ crashes_t $ timed_t $ obs_t)
   in
   Cmd.v
     (Cmd.info "montecarlo" ~doc:"Monte-Carlo fault injection on one schedule")
@@ -531,18 +606,15 @@ let campaign_cmd =
             "Also write a gnuplot script rendering the figure's three \
              panels from the CSV (requires --csv).")
   in
-  let run figure graphs csv gnuplot seed domains =
+  let run figure graphs csv gnuplot seed domains obs =
+    with_obs obs @@ fun () ->
     let config = Config.figure figure in
     let config =
       match graphs with
       | Some g -> Config.with_graphs_per_point config g
       | None -> config
     in
-    let result =
-      Campaign.run ~seed ?domains
-        ~progress:(fun m -> Printf.eprintf "  %s\n%!" m)
-        config
-    in
+    let result = Campaign.run ~seed ?domains config in
     print_string (Report.render result);
     Option.iter
       (fun path ->
@@ -560,11 +632,13 @@ let campaign_cmd =
             Fun.protect
               ~finally:(fun () -> close_out oc)
               (fun () -> output_string oc (Report.to_gnuplot result ~data)))
-      gnuplot
+      gnuplot;
+    0
   in
   let term =
     Term.(
-      const run $ figure_t $ graphs_t $ csv_t $ gnuplot_t $ seed_t $ domains_t)
+      const run $ figure_t $ graphs_t $ csv_t $ gnuplot_t $ seed_t $ domains_t
+      $ obs_t)
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Regenerate one of the paper's figures") term
 

@@ -47,6 +47,9 @@ let () =
      distinct processors, with one-to-one replication communications. *)
   let epsilon = 1 in
   let sched = Caft.run ~epsilon costs in
+  (* silent unless FTSCHED_LOG=debug *)
+  Obs.Log.debug "CAFT placed %d executions"
+    (List.length (Schedule.all_replicas sched));
   Format.printf "%a@." Schedule.pp_summary sched;
   Validate.check_exn sched;
   Gantt.print ~width:78 ~show_comm:true sched;

@@ -8,14 +8,19 @@ let run ?(model = Netstate.One_port) ?fabric ?insertion ?(one_to_one = true)
     Caft_engine.create ~model ?fabric ?insertion ~one_to_one ~epsilon costs
   in
   let rng = Rng.create seed in
-  let prio = Prio.create ~rng costs in
+  let prio =
+    Obs_trace.with_span ~cat:"sched" "priorities" (fun () ->
+        Prio.create ~rng costs)
+  in
   let rec loop () =
     match Prio.pop prio with
     | None ->
         if not (Prio.is_done prio) then
           failwith "Caft.run: no free task but tasks remain (DAG inconsistency)"
     | Some task ->
-        Caft_engine.schedule_task engine task;
+        Obs_trace.with_span ~cat:"sched" "place"
+          ~args:(fun () -> [ ("task", Json.Int task) ])
+          (fun () -> Caft_engine.schedule_task engine task);
         Prio.mark_scheduled prio task
           ~completion:(Caft_engine.completion_lower engine task);
         loop ()

@@ -42,6 +42,31 @@
    support is locked and the disjointness filter removes it from every
    later pool. *)
 
+(* Observability: every committed placement decision is counted — one
+   increment per (replica, predecessor) input, so over a whole run
+   [caft.one_to_one + caft.full_replication] equals the number of
+   scheduled inputs, (epsilon+1) * edge_count.  Trial bookings are muted
+   with [Obs_metrics.suppressed] so Netstate's counters only see
+   committed reservations; only [caft.candidates_evaluated] counts the
+   trials themselves. *)
+let m_one_to_one =
+  Obs_metrics.counter ~help:"inputs mapped one-to-one (single head)"
+    "caft.one_to_one"
+
+let m_full_replication =
+  Obs_metrics.counter ~help:"inputs demoted to full replication"
+    "caft.full_replication"
+
+let m_candidates =
+  Obs_metrics.counter ~help:"candidate placements evaluated (trial bookings)"
+    "caft.candidates_evaluated"
+
+let m_support_size =
+  Obs_metrics.histogram
+    ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+    ~help:"locked support-set size of each committed replica"
+    "caft.support_size"
+
 (* Estimated finish time of the communication shipping [volume] units from
    replica [r] to processor [p] under the current network state — the sort
    key of Algorithm 5.2 line 3.  Co-located replicas "finish" when the
@@ -219,18 +244,20 @@ let book t task p modes =
    earliest finish, without committing anything. *)
 let best_placement t ~preds ~locked ~remaining_after task =
   let snap = Netstate.snapshot t.net in
-  List.fold_left
-    (fun best p ->
-      match plan_for t ~preds ~locked ~remaining_after task p with
-      | None -> best
-      | Some (modes, s) -> (
-          let booked = book t task p modes in
-          Netstate.restore t.net snap;
-          match best with
-          | Some (bf, _, _, _) when bf <= booked.Netstate.b_finish -> best
-          | _ -> Some (booked.Netstate.b_finish, p, modes, s)))
-    None
-    (Bitset.complement_elements locked)
+  let candidates = Bitset.complement_elements locked in
+  Obs_metrics.incr ~by:(List.length candidates) m_candidates;
+  Obs_metrics.suppressed (fun () ->
+      List.fold_left
+        (fun best p ->
+          match plan_for t ~preds ~locked ~remaining_after task p with
+          | None -> best
+          | Some (modes, s) -> (
+              let booked = book t task p modes in
+              Netstate.restore t.net snap;
+              match best with
+              | Some (bf, _, _, _) when bf <= booked.Netstate.b_finish -> best
+              | _ -> Some (booked.Netstate.b_finish, p, modes, s)))
+        None candidates)
 
 let schedule_task t task =
   let preds = Dag.preds t.dag task in
@@ -246,6 +273,14 @@ let schedule_task t task =
     | Some (_, p, modes, s) ->
         let booked = book t task p modes in
         let r = Workspace.place t.ws ~task ~proc:p booked in
+        Array.iter
+          (fun (_, _, mode) ->
+            match !mode with
+            | One_to_one _ -> Obs_metrics.incr m_one_to_one
+            | Full -> Obs_metrics.incr m_full_replication)
+          modes;
+        Obs_metrics.observe m_support_size
+          (float_of_int (Bitset.cardinal s));
         t.supports.(task).(r.Schedule.r_index) <- Some s;
         Bitset.union_into ~into:locked s
   in

@@ -55,6 +55,15 @@ type instance_raw = {
   i_edges : float;
 }
 
+let m_instances =
+  Obs_metrics.counter ~help:"instances scheduled (all algorithms, all points)"
+    "campaign.instances"
+
+let m_point_seconds =
+  Obs_metrics.histogram
+    ~buckets:[| 0.01; 0.1; 1.; 10.; 60.; 300.; 1800. |]
+    ~help:"wall-clock seconds per granularity point" "campaign.point_seconds"
+
 let measure sched ~crashed =
   let out = Replay.crash_from_start sched ~crashed in
   if not out.Replay.completed then
@@ -68,6 +77,7 @@ let measure sched ~crashed =
    function of the instance (no shared mutable state), so the instances of
    a point can be evaluated on parallel domains. *)
 let measure_instance ~epsilon ~granularity inst =
+  Obs_metrics.incr m_instances;
   let costs = Granularity.rescale_to inst.costs1 granularity in
   let norm = normalization costs in
   let seed = inst.sched_seed in
@@ -109,7 +119,8 @@ let summarize rows select =
     latency0_stddev = Stats.stddev (List.map (fun r -> r.r_l0) raws);
   }
 
-let run ?(seed = 2008) ?(progress = fun _ -> ()) ?domains (config : Config.t) =
+let run ?(seed = 2008) ?(progress = Obs_log.progress) ?domains
+    (config : Config.t) =
   let rng = Rng.create seed in
   (* Draw the instances once; the granularity sweep only rescales costs. *)
   let instances =
@@ -127,9 +138,21 @@ let run ?(seed = 2008) ?(progress = fun _ -> ()) ?domains (config : Config.t) =
   in
   let epsilon = config.Config.epsilon in
   let point granularity =
+    let t_start = Obs_clock.now () in
     let rows =
-      Parallel.map ?domains (measure_instance ~epsilon ~granularity) instances
+      Obs_trace.with_span ~cat:"campaign"
+        ~args:(fun () ->
+          [
+            ("figure", Json.String config.Config.id);
+            ("granularity", Json.Float granularity);
+          ])
+        "point"
+        (fun () ->
+          Parallel.map ?domains
+            (measure_instance ~epsilon ~granularity)
+            instances)
     in
+    Obs_metrics.observe m_point_seconds (Obs_clock.now () -. t_start);
     let p =
       {
         granularity;

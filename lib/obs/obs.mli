@@ -1,0 +1,10 @@
+(** Observability layer: metrics registry, trace emitter, leveled logger.
+
+    One alias module so instrumented code and user programs read as
+    [Obs.Metrics.incr], [Obs.Trace.with_span], [Obs.Log.progress].  See
+    the submodule interfaces for the full contracts. *)
+
+module Clock = Obs_clock
+module Metrics = Obs_metrics
+module Trace = Obs_trace
+module Log = Obs_log

@@ -1,0 +1,2 @@
+let now = Unix.gettimeofday
+let now_us () = now () *. 1e6

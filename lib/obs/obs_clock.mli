@@ -1,0 +1,11 @@
+(** Wall-clock time for the observability layer.
+
+    A single indirection so the instrumented libraries do not depend on
+    [Unix] directly and tests can reason about the one clock every span
+    and duration metric shares. *)
+
+val now : unit -> float
+(** Wall-clock seconds (epoch-based, sub-microsecond resolution). *)
+
+val now_us : unit -> float
+(** [now () *. 1e6] — the microsecond scale of Chrome trace events. *)

@@ -1,0 +1,268 @@
+(* A global registry keyed by name.  Counters and gauges are atomics so
+   worker domains (Parallel.map) can record without coordination;
+   histograms serialize on a per-histogram mutex (observations are orders
+   of magnitude rarer than counter bumps).  The [enabled] flag is the
+   only cost on the disabled path: one atomic load and a branch. *)
+
+type counter = { c_cell : int Atomic.t }
+type gauge = { g_cell : float Atomic.t }
+
+type histogram = {
+  h_mutex : Mutex.t;
+  h_buckets : float array;  (* strictly increasing upper bounds *)
+  h_counts : int array;  (* length = buckets + 1, last is overflow *)
+  mutable h_acc : Stats.Acc.t;
+}
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_histogram of histogram
+
+type meta = { m_help : string; m_metric : metric }
+
+let registry : (string, meta) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "FTSCHED_METRICS" with
+    | Some ("" | "0" | "false" | "no") | None -> false
+    | Some _ -> true)
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* Per-domain mute flag: speculative bookings (snapshot/restore trials)
+   run under [suppressed] so only committed work is counted. *)
+let suppress_key = Domain.DLS.new_key (fun () -> ref false)
+
+let suppressed f =
+  let cell = Domain.DLS.get suppress_key in
+  let prev = !cell in
+  cell := true;
+  Fun.protect ~finally:(fun () -> cell := prev) f
+
+let recording () =
+  Atomic.get enabled_flag && not !(Domain.DLS.get suppress_key)
+
+(* -- registration ------------------------------------------------------ *)
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let counter ?(help = "") name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some { m_metric = M_counter c; _ } -> c
+      | Some _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Obs.Metrics: %S already registered with another kind" name)
+      | None ->
+          let c = { c_cell = Atomic.make 0 } in
+          Hashtbl.replace registry name { m_help = help; m_metric = M_counter c };
+          c)
+
+let incr ?(by = 1) c =
+  if recording () then ignore (Atomic.fetch_and_add c.c_cell by)
+
+let gauge ?(help = "") name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some { m_metric = M_gauge g; _ } -> g
+      | Some _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Obs.Metrics: %S already registered with another kind" name)
+      | None ->
+          let g = { g_cell = Atomic.make 0. } in
+          Hashtbl.replace registry name { m_help = help; m_metric = M_gauge g };
+          g)
+
+let set g x = if recording () then Atomic.set g.g_cell x
+
+let rec cas_add cell x =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. x)) then cas_add cell x
+
+let add g x = if recording () then cas_add g.g_cell x
+
+let default_buckets =
+  [| 0.001; 0.01; 0.1; 1.; 10.; 100.; 1000.; 10000. |]
+
+let histogram ?(buckets = default_buckets) ?(help = "") name =
+  let n = Array.length buckets in
+  for i = 1 to n - 1 do
+    if buckets.(i) <= buckets.(i - 1) then
+      invalid_arg "Obs.Metrics.histogram: buckets must be strictly increasing"
+  done;
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some { m_metric = M_histogram h; _ } -> h
+      | Some _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Obs.Metrics: %S already registered with another kind" name)
+      | None ->
+          let h =
+            {
+              h_mutex = Mutex.create ();
+              h_buckets = Array.copy buckets;
+              h_counts = Array.make (n + 1) 0;
+              h_acc = Stats.Acc.create ();
+            }
+          in
+          Hashtbl.replace registry name
+            { m_help = help; m_metric = M_histogram h };
+          h)
+
+let bucket_index buckets x =
+  (* first bucket whose upper bound admits x; length buckets = overflow *)
+  let n = Array.length buckets in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if x <= buckets.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let observe h x =
+  if recording () then begin
+    Mutex.lock h.h_mutex;
+    let i = bucket_index h.h_buckets x in
+    h.h_counts.(i) <- h.h_counts.(i) + 1;
+    Stats.Acc.add h.h_acc x;
+    Mutex.unlock h.h_mutex
+  end
+
+(* -- reading ----------------------------------------------------------- *)
+
+type histogram_summary = {
+  hs_count : int;
+  hs_mean : float;
+  hs_stddev : float;
+  hs_min : float;
+  hs_max : float;
+  hs_buckets : (float * int) list;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_summary
+
+let summarize_histogram h =
+  Mutex.lock h.h_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock h.h_mutex)
+    (fun () ->
+      let n = Array.length h.h_buckets in
+      {
+        hs_count = Stats.Acc.count h.h_acc;
+        hs_mean = Stats.Acc.mean h.h_acc;
+        hs_stddev = Stats.Acc.stddev h.h_acc;
+        hs_min = Stats.Acc.min h.h_acc;
+        hs_max = Stats.Acc.max h.h_acc;
+        hs_buckets =
+          List.init (n + 1) (fun i ->
+              ((if i = n then infinity else h.h_buckets.(i)), h.h_counts.(i)));
+      })
+
+let value_of = function
+  | M_counter c -> Counter (Atomic.get c.c_cell)
+  | M_gauge g -> Gauge (Atomic.get g.g_cell)
+  | M_histogram h -> Histogram (summarize_histogram h)
+
+let dump () =
+  let rows =
+    with_registry (fun () ->
+        Hashtbl.fold (fun name meta acc -> (name, meta) :: acc) registry [])
+  in
+  rows
+  |> List.map (fun (name, meta) -> (name, meta.m_help, value_of meta.m_metric))
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let find name =
+  match with_registry (fun () -> Hashtbl.find_opt registry name) with
+  | None -> None
+  | Some meta -> Some (value_of meta.m_metric)
+
+let reset () =
+  let metrics =
+    with_registry (fun () ->
+        Hashtbl.fold (fun _ meta acc -> meta.m_metric :: acc) registry [])
+  in
+  List.iter
+    (function
+      | M_counter c -> Atomic.set c.c_cell 0
+      | M_gauge g -> Atomic.set g.g_cell 0.
+      | M_histogram h ->
+          Mutex.lock h.h_mutex;
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_acc <- Stats.Acc.create ();
+          Mutex.unlock h.h_mutex)
+    metrics
+
+(* -- rendering --------------------------------------------------------- *)
+
+let float_str x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.3f" x
+
+let to_table () =
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left; Text_table.Left; Text_table.Left ]
+      [ "metric"; "kind"; "value" ]
+  in
+  List.iter
+    (fun (name, _, v) ->
+      let kind, value =
+        match v with
+        | Counter n -> ("counter", string_of_int n)
+        | Gauge x -> ("gauge", float_str x)
+        | Histogram s ->
+            ( "histogram",
+              if s.hs_count = 0 then "n=0"
+              else
+                Printf.sprintf "n=%d mean=%s min=%s max=%s" s.hs_count
+                  (float_str s.hs_mean) (float_str s.hs_min)
+                  (float_str s.hs_max) )
+      in
+      Text_table.add_row t [ name; kind; value ])
+    (dump ());
+  t
+
+let to_json () =
+  let metric (name, help, v) =
+    let base = [ ("name", Json.String name) ] in
+    let help = if help = "" then [] else [ ("help", Json.String help) ] in
+    let rest =
+      match v with
+      | Counter n -> [ ("kind", Json.String "counter"); ("value", Json.Int n) ]
+      | Gauge x -> [ ("kind", Json.String "gauge"); ("value", Json.Float x) ]
+      | Histogram s ->
+          [
+            ("kind", Json.String "histogram");
+            ("count", Json.Int s.hs_count);
+            ("mean", Json.Float s.hs_mean);
+            ("stddev", Json.Float s.hs_stddev);
+            ("min", Json.Float s.hs_min);
+            ("max", Json.Float s.hs_max);
+            ( "buckets",
+              Json.List
+                (List.map
+                   (fun (le, n) ->
+                     Json.Obj [ ("le", Json.Float le); ("count", Json.Int n) ])
+                   s.hs_buckets) );
+          ]
+    in
+    Json.Obj (base @ help @ rest)
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "ftsched/metrics/v1");
+      ("metrics", Json.List (List.map metric (dump ())));
+    ]

@@ -1,0 +1,85 @@
+(** Global, domain-safe metrics registry: counters, gauges, histograms.
+
+    The scheduler's claims are about decisions — one-to-one heads vs.
+    full-replication fallbacks, one-port serialization, message traffic —
+    so the hot layers register named metrics once (at module
+    initialization) and record into them from wherever the decision is
+    made, including worker domains spawned by [Parallel.map].
+
+    Recording is disabled by default and costs one atomic load per call
+    when off, so instrumentation can stay in the hot paths permanently.
+    Enable with {!set_enabled} (the CLI's [--metrics]) or by setting the
+    [FTSCHED_METRICS] environment variable to anything but [0] or
+    [false].
+
+    Domain safety: counters and gauges are atomics; histograms take a
+    per-histogram mutex.  Registration is idempotent — re-registering a
+    name returns the existing metric — and raises [Invalid_argument] only
+    if the name is reused with a different kind. *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val suppressed : (unit -> 'a) -> 'a
+(** Run a thunk with recording muted on the {e current domain} — used
+    around speculative work (e.g. trial bookings that are snapshot-
+    restored) so counters only reflect committed decisions.  Nests. *)
+
+(** {1 Registration and recording} *)
+
+val counter : ?help:string -> string -> counter
+val incr : ?by:int -> counter -> unit
+
+val gauge : ?help:string -> string -> gauge
+
+val set : gauge -> float -> unit
+val add : gauge -> float -> unit
+(** Gauges double as float accumulators (e.g. total link-busy time):
+    [set] overwrites, [add] is an atomic increment. *)
+
+val default_buckets : float array
+(** Geometric decades [1e-3 .. 1e4] — a sensible default for durations
+    expressed in schedule time units. *)
+
+val histogram : ?buckets:float array -> ?help:string -> string -> histogram
+(** [buckets] are strictly increasing upper bounds; an implicit overflow
+    bucket catches the rest.  Raises [Invalid_argument] if unsorted. *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Reading the registry} *)
+
+type histogram_summary = {
+  hs_count : int;
+  hs_mean : float;  (** [nan] when empty *)
+  hs_stddev : float;
+  hs_min : float;
+  hs_max : float;
+  hs_buckets : (float * int) list;
+      (** (upper bound, count) per bucket, overflow last as [(infinity, n)] *)
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_summary
+
+val dump : unit -> (string * string * value) list
+(** Every registered metric as [(name, help, value)], sorted by name. *)
+
+val find : string -> value option
+(** Current value of one metric by name. *)
+
+val reset : unit -> unit
+(** Zero every value; the registry itself (names, buckets) survives. *)
+
+val to_table : unit -> Text_table.t
+(** [metric | kind | value] rows, histogram values summarized inline. *)
+
+val to_json : unit -> Json.t
+(** Machine-readable dump ([ftsched/metrics/v1]): round-trips through
+    [Util.Json] and is appended to campaign/bench reports. *)

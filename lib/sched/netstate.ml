@@ -1,5 +1,32 @@
 type model = Macro_dataflow | One_port | Multiport of int
 
+(* Observability: booking decisions recorded here cover every scheduler
+   (CAFT, the baselines, the batch variant) since they all book through
+   this module.  Speculative bookings (snapshot/restore trials) run under
+   [Obs_metrics.suppressed] at the call site so only committed
+   reservations are counted. *)
+let m_send_wait =
+  Obs_metrics.histogram
+    ~help:"send-port serialization wait beyond source finish (time units)"
+    "net.send_wait"
+
+let m_recv_wait =
+  Obs_metrics.histogram
+    ~help:"receive-port serialization wait beyond link arrival (time units)"
+    "net.recv_wait"
+
+let m_link_busy =
+  Obs_metrics.gauge ~help:"total reserved physical-link time (time units)"
+    "net.link_busy_time"
+
+let m_msgs_remote =
+  Obs_metrics.counter ~help:"inter-processor messages booked"
+    "net.messages.remote"
+
+let m_msgs_local =
+  Obs_metrics.counter ~help:"co-located supplies (no link traffic)"
+    "net.messages.local"
+
 let ports_of_model = function
   | Macro_dataflow -> 1 (* unused *)
   | One_port -> 1
@@ -139,7 +166,12 @@ let book_leg t src dst w s_finish =
       in
       let finish = start +. w in
       t.sf.(src).(slot) <- finish;
-      List.iter (fun l -> t.phys.(l) <- finish) (t.fabric.route src dst);
+      let route = t.fabric.route src dst in
+      List.iter (fun l -> t.phys.(l) <- finish) route;
+      if Obs_metrics.enabled () then begin
+        Obs_metrics.observe m_send_wait (start -. s_finish);
+        Obs_metrics.add m_link_busy (w *. float_of_int (List.length route))
+      end;
       (start, finish)
 
 (* Execution booking.  The paper's list schedulers append after the last
@@ -253,6 +285,8 @@ let book_replica ?(colocate_exclusive = true) t ~proc ~exec ~inputs =
           (fun (s, w, leg_start, _leg_finish) ->
             let slot = argmin_slot t.rf.(proc) in
             let arrival = w +. Float.max t.rf.(proc).(slot) leg_start in
+            if Obs_metrics.enabled () then
+              Obs_metrics.observe m_recv_wait (arrival -. w -. leg_start);
             t.rf.(proc).(slot) <- arrival;
             {
               m_source = s;
@@ -293,4 +327,8 @@ let book_replica ?(colocate_exclusive = true) t ~proc ~exec ~inputs =
       0. remote_of_pred
   in
   let b_start, b_finish = book_exec t proc exec data_ready in
+  if Obs_metrics.enabled () then begin
+    Obs_metrics.incr ~by:(List.length messages) m_msgs_remote;
+    Obs_metrics.incr ~by:(List.length !locals) m_msgs_local
+  end;
   { b_start; b_finish; b_messages = messages; b_local = List.rev !locals }

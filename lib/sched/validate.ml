@@ -44,7 +44,7 @@ let describe_message (m : Netstate.message) =
     m.Netstate.m_source.Netstate.s_replica m.Netstate.m_source.Netstate.s_proc
     m.Netstate.m_dst_proc
 
-let run ?fabric sched =
+let run_impl ?fabric sched =
   let open Schedule in
   let fabric =
     match fabric with
@@ -257,6 +257,10 @@ let run ?fabric sched =
            @ !violations)
        per_phys);
   List.rev !violations
+
+let run ?fabric sched =
+  Obs_trace.with_span ~cat:"sched" "validate" (fun () ->
+      run_impl ?fabric sched)
 
 let is_valid ?fabric sched = run ?fabric sched = []
 

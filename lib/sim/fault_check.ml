@@ -7,6 +7,10 @@ type report = {
   static_agrees : bool option;
 }
 
+let m_scenarios =
+  Obs_metrics.counter ~help:"crash sets enumerated or sampled by check"
+    "fault_check.scenarios"
+
 (* -- crash-set enumeration --------------------------------------------- *)
 
 (* The hot path iterates increasing k-subsets of [0, n-1] with an in-place
@@ -99,6 +103,7 @@ let check ?(max_exhaustive = 20000) ?(samples = 1000) ?(seed = 7) ?static
   let worst = ref nan in
   let try_scenario crashed =
     incr checked;
+    Obs_metrics.incr m_scenarios;
     let out = Replay.crash_from_start sched ~crashed in
     if not out.Replay.completed then begin
       counterexample := Some (crashed, out.Replay.failed_tasks);

@@ -3,10 +3,15 @@ type mode = From_start | Timed of float
 type report = {
   runs : int;
   completed : int;
+  replays : int;
   latency : Stats.summary option;
   worst_slowdown : float;
   failure_rate : float;
 }
+
+let m_scenarios =
+  Obs_metrics.counter ~help:"Monte-Carlo crash scenarios drawn"
+    "montecarlo.scenarios"
 
 let run ?(seed = 20) ?(runs = 1000) ?fabric ~crashes ~mode sched =
   if runs < 1 then invalid_arg "Monte_carlo.run: runs < 1";
@@ -15,7 +20,10 @@ let run ?(seed = 20) ?(runs = 1000) ?fabric ~crashes ~mode sched =
   let l0 = Schedule.latency_zero_crash sched in
   let latencies = ref [] in
   let completed = ref 0 in
+  let replays = ref 0 in
   for _ = 1 to runs do
+    Obs_metrics.incr m_scenarios;
+    incr replays;
     let out =
       match mode with
       | From_start ->
@@ -36,6 +44,7 @@ let run ?(seed = 20) ?(runs = 1000) ?fabric ~crashes ~mode sched =
   {
     runs;
     completed = !completed;
+    replays = !replays;
     latency;
     worst_slowdown =
       (match latency with
@@ -44,16 +53,23 @@ let run ?(seed = 20) ?(runs = 1000) ?fabric ~crashes ~mode sched =
     failure_rate = float_of_int (runs - !completed) /. float_of_int runs;
   }
 
+let slowdown_cell x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.2fx" x
+
 let pp ppf r =
   Format.fprintf ppf
-    "@[<v>%d/%d runs completed (failure rate %.2f%%)@,%a@]" r.completed r.runs
+    "@[<v>%d/%d runs completed (failure rate %.2f%%, %d replays)@,%a@]"
+    r.completed r.runs
     (100. *. r.failure_rate)
+    r.replays
     (fun ppf -> function
-      | None -> Format.fprintf ppf "no completed run"
+      | None ->
+          Format.fprintf ppf "no completed run (worst slowdown %s)"
+            (slowdown_cell r.worst_slowdown)
       | Some s ->
           Format.fprintf ppf
             "latency: mean %.3f, median %.3f, min %.3f, max %.3f (worst \
-             slowdown %.2fx)"
+             slowdown %s)"
             s.Stats.mean s.Stats.median s.Stats.min s.Stats.max
-            r.worst_slowdown)
+            (slowdown_cell r.worst_slowdown))
     r.latency

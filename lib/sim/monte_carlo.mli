@@ -14,9 +14,13 @@ type mode =
 type report = {
   runs : int;
   completed : int;  (** runs in which every task produced a result *)
+  replays : int;
+      (** replays executed (one per scenario; also visible as the
+          [montecarlo.scenarios] / [replay.runs] metrics) *)
   latency : Stats.summary option;  (** over the completed runs; [None] if none *)
   worst_slowdown : float;
-      (** max completed latency / zero-crash latency; [nan] if none *)
+      (** max completed latency / zero-crash latency; [nan] if none —
+          printed as ["-"] by {!pp} *)
   failure_rate : float;  (** fraction of runs that lost a task *)
 }
 

@@ -16,7 +16,13 @@ type outcome = {
 
 type msg_state = { mutable m_delivered : float (* arrival, or infinity if dead *) }
 
+let m_replays =
+  Obs_metrics.counter ~help:"schedule replays run (all crash modes)"
+    "replay.runs"
+
 let run sched ~fabric ~crash_time ~dead_links =
+  Obs_metrics.incr m_replays;
+  Obs_trace.with_span ~cat:"sim" "replay" @@ fun () ->
   let dag = Schedule.dag sched in
   let platform = Schedule.platform sched in
   let model = Schedule.model sched in

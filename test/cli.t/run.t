@@ -25,7 +25,7 @@ Monte-Carlo fault injection — with crashes <= epsilon nothing ever fails:
 
   $ ftsched montecarlo --seed 2 --tasks 10 -m 4 --epsilon 1 --crashes 1 --runs 50
   CAFT, epsilon=1, 50 scenarios of 1 from-start crashes (latency with 0 crash: 884.755)
-  50/50 runs completed (failure rate 0.00%)
+  50/50 runs completed (failure rate 0.00%, 50 replays)
   latency: mean 945.397, median 884.755, min 884.755, max 1011.092 (worst slowdown 1.14x)
 
 Save a schedule, reload it, and check the round trip preserves the metrics:
@@ -111,3 +111,33 @@ Inspect a sparse interconnect:
 
   $ ftsched topology --shape hypercube-3 | head -1
   hypercube-3: 8 processors, 24 directed links, diameter 3 hops
+
+Observability: --metrics appends the decision counters to the output.
+Trial placements are suppressed, so the one-to-one and full-replication
+counters sum to (epsilon+1) x edges = 2 x 19, and the remote-message
+counter matches the schedule summary:
+
+  $ ftsched schedule --seed 2 --tasks 10 -m 4 --epsilon 1 --metrics | grep -E 'caft\.(one_to_one|full_replication)|net\.messages'
+  caft.full_replication      counter    0
+  caft.one_to_one            counter    38
+  net.messages.local         counter    22
+  net.messages.remote        counter    16
+
+The same dump is available as machine-readable JSON:
+
+  $ ftsched schedule --seed 2 --tasks 10 -m 4 --epsilon 1 --metrics --metrics-format json --metrics-out metrics.json
+  schedule CAFT: 10 tasks x 2 replicas on 4 processors (one-port model)
+  latency (0 crash) 884.755, upper bound 1011.092, 16 messages
+  graph: 10 tasks, 19 edges, width 3, granularity 1.00
+  validation: ok
+  $ grep -o '"schema":"[^"]*"' metrics.json
+  "schema":"ftsched/metrics/v1"
+
+--trace records a Chrome trace-event timeline (one "priorities" span, one
+"place" span per task, one "validate" span):
+
+  $ ftsched schedule --seed 2 --tasks 10 -m 4 --epsilon 1 --trace trace.json > /dev/null
+  $ grep -c '"traceEvents"' trace.json
+  1
+  $ grep -o '"name":"place"' trace.json | wc -l | tr -d ' '
+  10
