@@ -16,6 +16,7 @@
 (* accumulators for the machine-readable report *)
 let figure_timings : (int * float * int) list ref = ref []
 let bechamel_estimates : (string * float) list ref = ref []
+let placement_estimates : (string * float) list ref = ref []
 
 let run_figures figures graphs seed domains =
   List.iter
@@ -579,6 +580,32 @@ let passive_table graphs seed =
 
 (* -- bechamel micro-benchmarks: scheduler running time ---------------- *)
 
+(* Run a bechamel test tree and return [(name, ns_per_run)] rows. *)
+let run_bechamel ~limit ~quota tests =
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit ~quota () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let merged = Analyze.merge ols Toolkit.Instance.[ monotonic_clock ] [ results ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _clock tbl ->
+      Hashtbl.iter
+        (fun name v ->
+          let ns =
+            match Bechamel.Analyze.OLS.estimates v with
+            | Some [ e ] -> e
+            | _ -> nan
+          in
+          rows := (name, ns) :: !rows)
+        tbl)
+    merged;
+  List.sort compare !rows
+
 let bechamel_benches () =
   let open Bechamel in
   let instance_for m =
@@ -608,40 +635,124 @@ let bechamel_benches () =
            fun () -> Replay.crash_from_start sched ~crashed:[ 0; 1; 2 ]);
       ]
   in
-  let benchmark () =
-    let instances = Toolkit.Instance.[ monotonic_clock ] in
-    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
-    Benchmark.all cfg instances tests
-  in
-  let analyze results =
-    let ols =
-      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-    in
-    let results = Analyze.all ols Toolkit.Instance.monotonic_clock results in
-    Analyze.merge ols Toolkit.Instance.[ monotonic_clock ] [ results ]
-  in
   print_endline "=== Bechamel: scheduler running time (Theorem 5.1) ===";
-  let results = analyze (benchmark ()) in
-  Hashtbl.iter
-    (fun _clock tbl ->
-      let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl [] in
-      let rows = List.sort compare rows in
-      let t =
-        Text_table.create ~aligns:[ Text_table.Left ] [ "bench"; "time/run" ]
-      in
-      List.iter
-        (fun (name, v) ->
-          let ns =
-            match Bechamel.Analyze.OLS.estimates v with
-            | Some [ e ] -> e
-            | _ -> nan
-          in
-          bechamel_estimates := !bechamel_estimates @ [ (name, ns) ];
-          Text_table.add_row t
-            [ name; Printf.sprintf "%.3f ms" (ns /. 1e6) ])
-        rows;
-      Text_table.print t)
-    results;
+  let rows = run_bechamel ~limit:1000 ~quota:(Time.second 0.5) tests in
+  let t =
+    Text_table.create ~aligns:[ Text_table.Left ] [ "bench"; "time/run" ]
+  in
+  List.iter
+    (fun (name, ns) ->
+      bechamel_estimates := !bechamel_estimates @ [ (name, ns) ];
+      Text_table.add_row t [ name; Printf.sprintf "%.3f ms" (ns /. 1e6) ])
+    rows;
+  Text_table.print t;
+  print_newline ()
+
+(* -- placement microbench: trial booking, snapshot vs undo journal ----- *)
+
+(* One trial booking of a 3-predecessor replica on an m-processor one-port
+   clique with realistic port/link occupancy.  The [snapshot] variant is
+   the pre-optimization path (full O(m^2) state copy per candidate); the
+   [journal] variant is what every scheduler now does via
+   [Netstate.with_trial].  Both leave the state untouched, so the
+   measured operation is exactly the per-candidate cost of
+   [Caft_engine.best_placement] / the FTSA and FTBAR evaluation passes. *)
+let placement_case m =
+  let platform = Platform.uniform ~m ~delay:1. in
+  let net = Netstate.create platform in
+  let rng = Rng.create (1000 + m) in
+  let sources =
+    Array.init m (fun p ->
+        let b =
+          Netstate.book_exec_only net ~proc:p ~exec:(Rng.float_in rng 5. 15.)
+        in
+        {
+          Netstate.s_task = p;
+          s_replica = 0;
+          s_proc = p;
+          s_finish = b.Netstate.b_finish;
+          s_volume = Rng.float_in rng 50. 150.;
+        })
+  in
+  (* commit some messages so ports and links carry real reservations *)
+  for i = 0 to (m / 2) - 1 do
+    let dst = (i + (m / 2)) mod m in
+    ignore
+      (Netstate.book_replica net ~proc:dst ~exec:10.
+         ~inputs:[ (i, [ sources.(i) ]) ])
+  done;
+  let inputs =
+    List.init 3 (fun i ->
+        let s1 = sources.(i * 2 mod m) in
+        let s2 = sources.(((i * 2) + 1) mod m) in
+        ( s1.Netstate.s_task,
+          [ s1; { s2 with Netstate.s_task = s1.Netstate.s_task; s_replica = 1 } ]
+        ))
+  in
+  let proc = m - 1 in
+  let snapshot_trial () =
+    let snap = Netstate.snapshot net in
+    let b = Netstate.book_replica net ~proc ~exec:25. ~inputs in
+    Netstate.restore net snap;
+    b
+  in
+  let journal_trial () =
+    Netstate.with_trial net (fun () ->
+        Netstate.book_replica net ~proc ~exec:25. ~inputs)
+  in
+  (snapshot_trial, journal_trial)
+
+let placement_ms = [ 10; 25; 50; 100 ]
+
+let placement_bench ?(quick = false) () =
+  let open Bechamel in
+  print_endline
+    "=== Placement microbench: trial booking, snapshot vs undo journal ===";
+  let test name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"placement"
+      (List.concat_map
+         (fun m ->
+           let snapshot_trial, journal_trial = placement_case m in
+           [
+             test (Printf.sprintf "snapshot/m=%03d" m) snapshot_trial;
+             test (Printf.sprintf "journal/m=%03d" m) journal_trial;
+           ])
+         placement_ms)
+  in
+  let limit, quota =
+    if quick then (300, Time.second 0.05) else (2000, Time.second 0.5)
+  in
+  let rows = run_bechamel ~limit ~quota tests in
+  placement_estimates := rows;
+  let find kind m =
+    match
+      List.assoc_opt (Printf.sprintf "placement/%s/m=%03d" kind m) rows
+    with
+    | Some ns -> ns
+    | None -> nan
+  in
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [ "m"; "snapshot/trial"; "journal/trial"; "speedup" ]
+  in
+  List.iter
+    (fun m ->
+      let snap_ns = find "snapshot" m and jour_ns = find "journal" m in
+      Text_table.add_row t
+        [
+          string_of_int m;
+          Printf.sprintf "%.2f us" (snap_ns /. 1e3);
+          Printf.sprintf "%.2f us" (jour_ns /. 1e3);
+          Printf.sprintf "%.1fx" (snap_ns /. jour_ns);
+        ])
+    placement_ms;
+  Text_table.print t;
+  print_endline
+    "(cost of evaluating one candidate placement without committing it; \
+     the snapshot path\n copies the whole O(m^2) network state, the \
+     journal path undoes only the cells written)";
   print_newline ()
 
 (* -- machine-readable summary ------------------------------------------ *)
@@ -680,6 +791,27 @@ let write_bench_json path ~seed ~graphs ~domains =
                  Json.Obj
                    [ ("name", Json.String name); ("ns_per_run", float_or_null ns) ])
                !bechamel_estimates) );
+        ( "placement",
+          Json.List
+            (List.filter_map
+               (fun m ->
+                 let find kind =
+                   List.assoc_opt
+                     (Printf.sprintf "placement/%s/m=%03d" kind m)
+                     !placement_estimates
+                 in
+                 match (find "snapshot", find "journal") with
+                 | Some snap_ns, Some jour_ns ->
+                     Some
+                       (Json.Obj
+                          [
+                            ("m", Json.Int m);
+                            ("snapshot_ns_per_trial", float_or_null snap_ns);
+                            ("journal_ns_per_trial", float_or_null jour_ns);
+                            ("speedup", float_or_null (snap_ns /. jour_ns));
+                          ])
+                 | _ -> None)
+               placement_ms) );
       ]
   in
   let oc = open_out path in
@@ -688,9 +820,12 @@ let write_bench_json path ~seed ~graphs ~domains =
     (fun () ->
       output_string oc (Json.to_string ~indent:2 json);
       output_char oc '\n');
-  Obs_log.info "wrote %s (%d figures, %d bechamel estimates)" path
+  Obs_log.info
+    "wrote %s (%d figures, %d bechamel estimates, %d placement estimates)"
+    path
     (List.length !figure_timings)
     (List.length !bechamel_estimates)
+    (List.length !placement_estimates)
 
 (* -- command line ------------------------------------------------------ *)
 
@@ -701,6 +836,8 @@ let () =
   let seed = ref 2008 in
   let tables = ref [] in
   let bechamel = ref false in
+  let placement = ref false in
+  let quick = ref false in
   let all = ref true in
   let json = ref "BENCH_schedulers.json" in
   let speclist =
@@ -730,6 +867,16 @@ let () =
             all := false;
             bechamel := true),
         "  run the bechamel micro-benchmarks only" );
+      ( "--placement",
+        Arg.Unit
+          (fun () ->
+            all := false;
+            placement := true),
+        "  run the placement microbench only (snapshot vs undo-journal \
+         trials)" );
+      ( "--quick",
+        Arg.Set quick,
+        "  shrink the placement microbench quota (CI smoke mode)" );
       ( "--json",
         Arg.Set_string json,
         "FILE  machine-readable summary (default BENCH_schedulers.json; \
@@ -751,7 +898,8 @@ let () =
     links_table !graphs !seed;
     passive_table !graphs !seed;
     models_table !graphs !seed;
-    bechamel_benches ()
+    bechamel_benches ();
+    placement_bench ~quick:!quick ()
   end
   else begin
     if !figures <> [] then run_figures !figures !graphs !seed !domains;
@@ -769,7 +917,8 @@ let () =
         | "models" -> models_table !graphs !seed
         | other -> Obs_log.warn "unknown table %s" other)
       !tables;
-    if !bechamel then bechamel_benches ()
+    if !bechamel then bechamel_benches ();
+    if !placement then placement_bench ~quick:!quick ()
   end;
   if !json <> "" then
     write_bench_json !json ~seed:!seed ~graphs:!graphs ~domains:!domains

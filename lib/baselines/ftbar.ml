@@ -27,16 +27,15 @@ let run ?(model = Netstate.One_port) ?fabric ?insertion ?(seed = 42) ~epsilon co
     (match !free with
     | [] -> failwith "Ftbar.run: no free task but tasks remain"
     | _ -> ());
-    (* Evaluate the pressure of every free task on every processor. *)
-    let snap = Netstate.snapshot net in
+    (* Evaluate the pressure of every free task on every processor; each
+       trial booking rolls back only the cells it wrote. *)
     let evaluated =
       List.map
         (fun task ->
           let sigmas =
             List.map
               (fun p ->
-                let booked = book task p in
-                Netstate.restore net snap;
+                let booked = Netstate.with_trial net (fun () -> book task p) in
                 let sigma =
                   booked.Netstate.b_start +. latest_start task
                   -. !schedule_length

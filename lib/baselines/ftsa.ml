@@ -18,16 +18,17 @@ let run ?(model = Netstate.One_port) ?fabric ?insertion ?(seed = 42) ~epsilon co
         in
         (* Evaluation pass: simulate the mapping on every processor and
            rank by finish time ("the first epsilon+1 processors that allow
-           the minimum finish time are kept"). *)
-        let snap = Netstate.snapshot net in
+           the minimum finish time are kept").  Each simulation runs in a
+           trial, rolling back only the cells it wrote. *)
         let candidates =
           List.map
             (fun p ->
               let booked =
-                if inputs = [] then Netstate.book_exec_only net ~proc:p ~exec:(exec p)
-                else Netstate.book_replica net ~proc:p ~exec:(exec p) ~inputs
+                Netstate.with_trial net (fun () ->
+                    if inputs = [] then
+                      Netstate.book_exec_only net ~proc:p ~exec:(exec p)
+                    else Netstate.book_replica net ~proc:p ~exec:(exec p) ~inputs)
               in
-              Netstate.restore net snap;
               (booked.Netstate.b_finish, p))
             (Platform.procs platform)
         in

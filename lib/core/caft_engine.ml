@@ -61,6 +61,13 @@ let m_candidates =
   Obs_metrics.counter ~help:"candidate placements evaluated (trial bookings)"
     "caft.candidates_evaluated"
 
+let m_pruned =
+  Obs_metrics.counter
+    ~help:
+      "candidate placements skipped because their finish-time lower bound \
+       could not beat the incumbent"
+    "caft.candidates_pruned"
+
 let m_support_size =
   Obs_metrics.histogram
     ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
@@ -240,24 +247,80 @@ let book t task p modes =
       ~inputs:(inputs_of_plan t modes)
       ~colocate_exclusive:(colocate_exclusive_ok t modes p)
 
+(* Admissible lower bound on the finish time the trial booking of
+   candidate [p] could achieve under the plan [modes].  Every term is a
+   lower bound on the corresponding term of the real booking (see
+   DESIGN.md, "Candidate pruning"):
+
+   - the execution cannot start before the processor is ready (append
+     mode only — insertion may gap-fill earlier, so the term is dropped);
+   - each predecessor's data cannot be ready before its cheapest leg
+     estimate: a one-to-one input before the estimate of its chosen head
+     (bookings within the trial only push SF/R/RF forward), a
+     full-replication input before the cheapest estimate over all placed
+     replicas (actual readiness is a min over arrivals, each at least its
+     replica's estimate).
+
+   The bound uses the same float operations as the booking (max, +.),
+   which are monotone, so [finish_lower_bound <= booked.b_finish] holds
+   exactly, not just approximately — pruning on it can never skip a
+   candidate that would have beaten the incumbent, and the argmin (ties
+   kept on the incumbent) is byte-identical to exhaustive evaluation. *)
+let finish_lower_bound t task p modes =
+  let data_lb =
+    Array.fold_left
+      (fun acc (pred, volume, mode) ->
+        let est r = leg_finish_estimate t.net r ~volume ~dst:p in
+        let lb =
+          match !mode with
+          | One_to_one r -> est r
+          | Full ->
+              List.fold_left
+                (fun best r -> Float.min best (est r))
+                infinity
+                (Workspace.placed t.ws pred)
+        in
+        Float.max acc lb)
+      0. modes
+  in
+  let ready_lb =
+    if Netstate.insertion t.net then 0. else Netstate.proc_ready t.net p
+  in
+  Float.max ready_lb data_lb +. exec t task p
+
 (* Evaluate every unlocked processor and return the placement with the
-   earliest finish, without committing anything. *)
+   earliest finish, without committing anything.  Candidates whose lower
+   bound cannot beat the incumbent are skipped without a trial booking. *)
 let best_placement t ~preds ~locked ~remaining_after task =
-  let snap = Netstate.snapshot t.net in
   let candidates = Bitset.complement_elements locked in
-  Obs_metrics.incr ~by:(List.length candidates) m_candidates;
-  Obs_metrics.suppressed (fun () ->
-      List.fold_left
-        (fun best p ->
-          match plan_for t ~preds ~locked ~remaining_after task p with
-          | None -> best
-          | Some (modes, s) -> (
-              let booked = book t task p modes in
-              Netstate.restore t.net snap;
-              match best with
-              | Some (bf, _, _, _) when bf <= booked.Netstate.b_finish -> best
-              | _ -> Some (booked.Netstate.b_finish, p, modes, s)))
-        None candidates)
+  let evaluated = ref 0 and pruned = ref 0 in
+  let result =
+    Obs_metrics.suppressed (fun () ->
+        List.fold_left
+          (fun best p ->
+            match plan_for t ~preds ~locked ~remaining_after task p with
+            | None -> best
+            | Some (modes, s) -> (
+                match best with
+                | Some (bf, _, _, _)
+                  when finish_lower_bound t task p modes >= bf ->
+                    incr pruned;
+                    best
+                | _ -> (
+                    incr evaluated;
+                    let booked =
+                      Netstate.with_trial t.net (fun () -> book t task p modes)
+                    in
+                    match best with
+                    | Some (bf, _, _, _) when bf <= booked.Netstate.b_finish ->
+                        best
+                    | _ -> Some (booked.Netstate.b_finish, p, modes, s))))
+          None candidates)
+  in
+  (* recorded outside [suppressed], which mutes the current domain *)
+  Obs_metrics.incr ~by:!evaluated m_candidates;
+  Obs_metrics.incr ~by:!pruned m_pruned;
+  result
 
 let schedule_task t task =
   let preds = Dag.preds t.dag task in

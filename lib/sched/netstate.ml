@@ -44,6 +44,17 @@ type fabric = {
 let clique_fabric m =
   { phys_count = m * m; route = (fun src dst -> [ (src * m) + dst ]) }
 
+(* One journal entry per mutated cell: the cell's coordinates and its
+   value before the write.  Undoing the journal newest-first restores the
+   pre-trial state exactly, even when a cell is written several times (the
+   oldest entry, holding the pre-trial value, is replayed last). *)
+type undo =
+  | U_ready of int * float
+  | U_busy of int * (float * float) list
+  | U_sf of int * int * float
+  | U_rf of int * int * float
+  | U_phys of int * float
+
 type t = {
   platform : Platform.t;
   model : model;
@@ -56,6 +67,8 @@ type t = {
   sf : float array array;  (* per-processor send slots (k per port) *)
   rf : float array array;  (* per-processor receive slots *)
   phys : float array;  (* ready time per physical link *)
+  mutable trial_depth : int;  (* > 0 while inside [with_trial] *)
+  mutable journal : undo list;  (* newest first; empty outside trials *)
 }
 
 type snapshot = {
@@ -82,6 +95,8 @@ let create ?(model = One_port) ?fabric ?(insertion = false) platform =
     sf = Array.init m (fun _ -> Array.make k 0.);
     rf = Array.init m (fun _ -> Array.make k 0.);
     phys = Array.make fabric.phys_count 0.;
+    trial_depth = 0;
+    journal = [];
   }
 
 let model t = t.model
@@ -106,6 +121,60 @@ let restore t snap =
   Array.iteri (fun i row -> Array.blit row 0 t.rf.(i) 0 (Array.length row))
     snap.snap_rf;
   Array.blit snap.snap_phys 0 t.phys 0 (Array.length t.phys)
+
+(* Journaled writes: every mutation of the state goes through one of
+   these, so a trial records exactly the cells it touches and rollback is
+   O(writes) instead of the O(m^2) snapshot copy. *)
+let set_ready t p v =
+  if t.trial_depth > 0 then t.journal <- U_ready (p, t.ready.(p)) :: t.journal;
+  t.ready.(p) <- v
+
+let set_busy t p v =
+  if t.trial_depth > 0 then t.journal <- U_busy (p, t.busy.(p)) :: t.journal;
+  t.busy.(p) <- v
+
+let set_sf t p slot v =
+  if t.trial_depth > 0 then
+    t.journal <- U_sf (p, slot, t.sf.(p).(slot)) :: t.journal;
+  t.sf.(p).(slot) <- v
+
+let set_rf t p slot v =
+  if t.trial_depth > 0 then
+    t.journal <- U_rf (p, slot, t.rf.(p).(slot)) :: t.journal;
+  t.rf.(p).(slot) <- v
+
+let set_phys t l v =
+  if t.trial_depth > 0 then t.journal <- U_phys (l, t.phys.(l)) :: t.journal;
+  t.phys.(l) <- v
+
+let with_trial t f =
+  let mark = t.journal in
+  t.trial_depth <- t.trial_depth + 1;
+  let rollback () =
+    t.trial_depth <- t.trial_depth - 1;
+    let rec undo l =
+      if l != mark then
+        match l with
+        | [] -> assert false (* mark is a suffix of the journal *)
+        | entry :: rest ->
+            (match entry with
+            | U_ready (p, v) -> t.ready.(p) <- v
+            | U_busy (p, v) -> t.busy.(p) <- v
+            | U_sf (p, slot, v) -> t.sf.(p).(slot) <- v
+            | U_rf (p, slot, v) -> t.rf.(p).(slot) <- v
+            | U_phys (l', v) -> t.phys.(l') <- v);
+            undo rest
+    in
+    undo t.journal;
+    t.journal <- mark
+  in
+  match f () with
+  | result ->
+      rollback ();
+      result
+  | exception exn ->
+      rollback ();
+      raise exn
 
 let proc_ready t p = t.ready.(p)
 
@@ -165,9 +234,9 @@ let book_leg t src dst w s_finish =
           (Float.max s_finish (link_ready t ~src ~dst))
       in
       let finish = start +. w in
-      t.sf.(src).(slot) <- finish;
+      set_sf t src slot finish;
       let route = t.fabric.route src dst in
-      List.iter (fun l -> t.phys.(l) <- finish) route;
+      List.iter (fun l -> set_phys t l finish) route;
       if Obs_metrics.enabled () then begin
         Obs_metrics.observe m_send_wait (start -. s_finish);
         Obs_metrics.add m_link_busy (w *. float_of_int (List.length route))
@@ -182,7 +251,7 @@ let book_exec t proc exec data_ready =
   if not t.insertion then begin
     let start = Float.max t.ready.(proc) data_ready in
     let finish = start +. exec in
-    t.ready.(proc) <- finish;
+    set_ready t proc finish;
     (start, finish)
   end
   else begin
@@ -199,8 +268,8 @@ let book_exec t proc exec data_ready =
       | ((s, _) as iv) :: rest when s < start -> iv :: insert rest
       | rest -> (start, finish) :: rest
     in
-    t.busy.(proc) <- insert t.busy.(proc);
-    if finish > t.ready.(proc) then t.ready.(proc) <- finish;
+    set_busy t proc (insert t.busy.(proc));
+    if finish > t.ready.(proc) then set_ready t proc finish;
     (start, finish)
   end
 
@@ -287,7 +356,7 @@ let book_replica ?(colocate_exclusive = true) t ~proc ~exec ~inputs =
             let arrival = w +. Float.max t.rf.(proc).(slot) leg_start in
             if Obs_metrics.enabled () then
               Obs_metrics.observe m_recv_wait (arrival -. w -. leg_start);
-            t.rf.(proc).(slot) <- arrival;
+            set_rf t proc slot arrival;
             {
               m_source = s;
               m_dst_proc = proc;
@@ -299,18 +368,22 @@ let book_replica ?(colocate_exclusive = true) t ~proc ~exec ~inputs =
           legs
   in
   (* Per-predecessor readiness: the earliest supply of each predecessor
-     ("at least one replica of each predecessor has sent its results"). *)
+     ("at least one replica of each predecessor has sent its results").
+     Arrivals are looked up through a map keyed by the source identity,
+     built in one pass over [messages], instead of re-scanning the whole
+     message list per remote source (which made booking O(k^2) in the
+     in-degree). *)
+  let arrivals = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      Hashtbl.replace arrivals
+        (m.m_source.s_task, m.m_source.s_replica, m.m_source.s_proc)
+        m.m_arrival)
+    messages;
   let arrival_of s =
-    let found = ref infinity in
-    List.iter
-      (fun m ->
-        if
-          m.m_source.s_task = s.s_task
-          && m.m_source.s_replica = s.s_replica
-          && m.m_source.s_proc = s.s_proc
-        then found := m.m_arrival)
-      messages;
-    !found
+    match Hashtbl.find_opt arrivals (s.s_task, s.s_replica, s.s_proc) with
+    | Some a -> a
+    | None -> infinity
   in
   let data_ready =
     List.fold_left

@@ -31,9 +31,13 @@
     ports and links are never busy.
 
     All booking mutates the state; callers that merely want to evaluate a
-    candidate placement snapshot the state first and restore it afterwards
-    (the paper: "the incoming communications are removed from the links
-    before the procedure is repeated on the next processor"). *)
+    candidate placement run the booking inside {!with_trial}, which
+    journals every mutated cell and rolls back only those cells — the
+    paper's "the incoming communications are removed from the links
+    before the procedure is repeated on the next processor", made
+    O(writes-per-booking) instead of the O(m^2) {!snapshot}/{!restore}
+    copy (kept as the reference implementation and for whole-phase
+    checkpointing). *)
 
 (** Communication model.
 
@@ -89,7 +93,18 @@ val snapshot : t -> snapshot
 (** O(m^2) copy of the whole state. *)
 
 val restore : t -> snapshot -> unit
-(** Roll the state back to a snapshot taken on the same value. *)
+(** Roll the state back to a snapshot taken on the same value.  Must not
+    be called while a {!with_trial} is in flight on [t]: the journal
+    records cell values relative to the state it was opened on. *)
+
+val with_trial : t -> (unit -> 'a) -> 'a
+(** [with_trial t f] runs [f] — typically one or more speculative
+    bookings — and then rolls the state back to exactly where it was,
+    undoing only the cells [f] wrote (each booking touches O(in-degree)
+    cells, against the O(m^2) floats a {!snapshot} copies).  The result
+    of [f] is returned; the rollback also runs if [f] raises.  Trials
+    nest: an inner trial rolls back to its own entry point, the outer one
+    to its. *)
 
 val proc_ready : t -> Platform.proc -> float
 (** [r(P)]. *)
@@ -167,8 +182,8 @@ val book_replica :
 
     The call mutates [t]: link legs consume [SF] of the source processors
     and [R] of the links, arrivals consume [RF(proc)], and the execution
-    consumes [r(proc)].  Wrap in {!snapshot}/{!restore} to evaluate
-    without committing. *)
+    consumes [r(proc)].  Wrap in {!with_trial} to evaluate without
+    committing. *)
 
 val book_exec_only : t -> proc:Platform.proc -> exec:float -> booked
 (** Booking for a task with no inputs (entry tasks): starts at [r(proc)]. *)

@@ -1,7 +1,5 @@
 let available_domains () = Domain.recommended_domain_count ()
 
-type 'b chunk_result = Done of 'b list | Failed of exn
-
 let map ?domains f xs =
   let domains =
     match domains with Some d -> max 1 d | None -> available_domains ()
@@ -9,28 +7,33 @@ let map ?domains f xs =
   let n = List.length xs in
   if domains <= 1 || n <= 1 then List.map f xs
   else begin
-    let chunk_count = min domains n in
-    (* contiguous chunks of near-equal size, preserving order *)
     let arr = Array.of_list xs in
-    let chunk i =
-      let lo = i * n / chunk_count and hi = (i + 1) * n / chunk_count in
-      Array.to_list (Array.sub arr lo (hi - lo))
+    let results = Array.make n None in
+    (* Work stealing over an atomic index: every worker claims the next
+       unprocessed item, so a slow item delays only itself instead of
+       stalling the rest of a pre-assigned contiguous chunk.  Each index
+       is claimed exactly once; the join synchronizes the writes. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f arr.(i));
+          loop ()
+        end
+      in
+      try
+        loop ();
+        None
+      with exn -> Some exn
     in
-    let worker items () =
-      try Done (List.map f items) with exn -> Failed exn
-    in
-    (* run the first chunk on the current domain, the rest on spawned ones *)
-    let spawned =
-      List.init (chunk_count - 1) (fun i ->
-          Domain.spawn (worker (chunk (i + 1))))
-    in
-    let first = worker (chunk 0) () in
+    (* run one worker on the current domain, the rest on spawned ones *)
+    let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
+    let first = worker () in
     let rest = List.map Domain.join spawned in
-    let all = first :: rest in
-    (match
-       List.find_opt (function Failed _ -> true | Done _ -> false) all
-     with
-    | Some (Failed exn) -> raise exn
+    (match List.find_opt Option.is_some (first :: rest) with
+    | Some (Some exn) -> raise exn
     | _ -> ());
-    List.concat_map (function Done l -> l | Failed _ -> assert false) all
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
   end

@@ -3,8 +3,9 @@
     The experiment campaigns evaluate dozens of independent instances per
     point; {!map} spreads them over domains while keeping the result order
     (hence all downstream aggregation) identical to the sequential run.
-    No work stealing, no shared state: the input list is split into
-    contiguous chunks, one domain per chunk. *)
+    Items are claimed one at a time through an atomic work-stealing index,
+    so one slow instance delays only itself — a straggler no longer stalls
+    the whole contiguous chunk a domain was pre-assigned. *)
 
 val available_domains : unit -> int
 (** Recommended domain count for this machine
@@ -13,6 +14,8 @@ val available_domains : unit -> int
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~domains f xs] is [List.map f xs], computed with up to [domains]
     domains (default {!available_domains}; [1] degenerates to the
-    sequential map).  [f] must not rely on shared mutable state.  The
-    first exception raised by any chunk is re-raised after all domains
-    joined. *)
+    sequential map).  Result order is that of [xs] regardless of which
+    domain computed which item.  [f] must not rely on shared mutable
+    state.  If some application of [f] raises, one such exception is
+    re-raised after all domains joined (items not yet claimed when a
+    worker dies are still computed by the surviving workers). *)

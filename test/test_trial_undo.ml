@@ -1,0 +1,322 @@
+(* Differential tests for the trial-booking fast path (undo journal +
+   candidate pruning):
+
+   - on >= 100 random scenarios (varying m, model, insertion, fabric),
+     interleave committed and speculative bookings and assert that
+     [Netstate.with_trial] restores a state observationally identical to
+     [snapshot]/[restore] — same [proc_ready], [send_free], [recv_free]
+     and [link_ready] on every processor pair — and returns the same
+     booking the snapshot path computes;
+   - golden fingerprints: the schedules produced by CAFT, CAFT-full,
+     FTSA, FTBAR, the batch variant and HEFT on fixed seeds are
+     byte-identical to the pre-optimization code (digests recorded from
+     the seed commit);
+   - the pruning metric actually fires on a default-sized instance. *)
+
+let src ~task ~replica ~proc ~finish ~volume =
+  {
+    Netstate.s_task = task;
+    s_replica = replica;
+    s_proc = proc;
+    s_finish = finish;
+    s_volume = volume;
+  }
+
+(* Every observable of the network state: r(P), SF(P), RF(P) per
+   processor and R(l) per ordered pair. *)
+let observe net =
+  let m = Platform.proc_count (Netstate.platform net) in
+  ( Array.init m (fun p -> Netstate.proc_ready net p),
+    Array.init m (fun p -> Netstate.send_free net p),
+    Array.init m (fun p -> Netstate.recv_free net p),
+    Array.init m (fun s ->
+        Array.init m (fun d ->
+            if s = d then 0. else Netstate.link_ready net ~src:s ~dst:d)) )
+
+let check_obs msg expected actual =
+  if expected <> actual then Alcotest.failf "%s: observable state differs" msg
+
+(* k distinct elements of [lst], via a partial Fisher-Yates shuffle. *)
+let pick rng k lst =
+  let arr = Array.of_list lst in
+  let n = Array.length arr in
+  let k = min k n in
+  for i = 0 to k - 1 do
+    let j = i + Rng.int rng (n - i) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list (Array.sub arr 0 k)
+
+let scenario seed =
+  let rng = Rng.create seed in
+  let model =
+    match Rng.int rng 4 with
+    | 0 -> Netstate.Macro_dataflow
+    | 1 -> Netstate.One_port
+    | 2 -> Netstate.Multiport 2
+    | _ -> Netstate.Multiport 3
+  in
+  let insertion = Rng.int rng 2 = 1 in
+  let platform, fabric =
+    match Rng.int rng 3 with
+    | 0 -> (Helpers.uniform_platform (2 + Rng.int rng 9), None)
+    | 1 ->
+        let topo = Topology.ring (3 + Rng.int rng 6) in
+        (Topology.platform topo, Some (Topology.fabric topo))
+    | _ ->
+        let topo = Topology.star (3 + Rng.int rng 6) in
+        (Topology.platform topo, Some (Topology.fabric topo))
+  in
+  let m = Platform.proc_count platform in
+  let net =
+    match fabric with
+    | None -> Netstate.create ~model ~insertion platform
+    | Some fabric -> Netstate.create ~model ~fabric ~insertion platform
+  in
+  (* Pool of data sources produced by committed bookings. *)
+  let pool = ref [] in
+  let fresh_task = ref 0 in
+  let add_source proc finish =
+    let task = !fresh_task in
+    incr fresh_task;
+    pool :=
+      src ~task ~replica:0 ~proc ~finish ~volume:(Rng.float_in rng 1. 20.)
+      :: !pool
+  in
+  for _ = 1 to 3 do
+    let p = Rng.int rng m in
+    let b =
+      Netstate.book_exec_only net ~proc:p ~exec:(Rng.float_in rng 1. 10.)
+    in
+    add_source p b.Netstate.b_finish
+  done;
+  let make_inputs () =
+    let npred = 1 + Rng.int rng 3 in
+    List.map
+      (fun s ->
+        let sources =
+          if Rng.int rng 2 = 0 then [ s ]
+          else
+            (* a second replica of the same predecessor, elsewhere *)
+            [
+              s;
+              {
+                s with
+                Netstate.s_replica = 1;
+                s_proc = Rng.int rng m;
+                s_finish = Rng.float_in rng 0. 30.;
+              };
+            ]
+        in
+        (s.Netstate.s_task, sources))
+      (pick rng npred !pool)
+  in
+  for step = 1 to 12 do
+    let proc = Rng.int rng m in
+    let exec = Rng.float_in rng 1. 10. in
+    let inputs = make_inputs () in
+    let colocate_exclusive = Rng.int rng 2 = 0 in
+    let book () =
+      Netstate.book_replica ~colocate_exclusive net ~proc ~exec ~inputs
+    in
+    if Rng.int rng 2 = 0 then begin
+      (* commit: the booking mutates the state for later steps *)
+      let b = book () in
+      add_source proc b.Netstate.b_finish
+    end
+    else begin
+      (* differential trial: snapshot/restore is the reference *)
+      let obs0 = observe net in
+      let snap = Netstate.snapshot net in
+      let b_ref = book () in
+      Netstate.restore net snap;
+      check_obs
+        (Printf.sprintf "seed %d step %d (restore)" seed step)
+        obs0 (observe net);
+      let b_trial = Netstate.with_trial net book in
+      check_obs
+        (Printf.sprintf "seed %d step %d (with_trial)" seed step)
+        obs0 (observe net);
+      if b_trial <> b_ref then
+        Alcotest.failf "seed %d step %d: trial booking differs from snapshot"
+          seed step
+    end
+  done;
+  (* nested trials roll back to their own entry points *)
+  let obs0 = observe net in
+  let inputs = make_inputs () in
+  Netstate.with_trial net (fun () ->
+      let _ = Netstate.book_replica net ~proc:0 ~exec:5. ~inputs in
+      let mid = observe net in
+      Netstate.with_trial net (fun () ->
+          ignore (Netstate.book_replica net ~proc:(m - 1) ~exec:2. ~inputs));
+      check_obs
+        (Printf.sprintf "seed %d (inner trial)" seed)
+        mid (observe net));
+  check_obs (Printf.sprintf "seed %d (outer trial)" seed) obs0 (observe net);
+  (* a raising trial still rolls back *)
+  (try
+     Netstate.with_trial net (fun () ->
+         ignore (Netstate.book_exec_only net ~proc:0 ~exec:1.);
+         failwith "boom")
+   with Failure _ -> ());
+  check_obs (Printf.sprintf "seed %d (raise)" seed) obs0 (observe net)
+
+let test_trial_vs_snapshot () =
+  for seed = 1 to 120 do
+    scenario seed
+  done
+
+(* -- golden schedules -------------------------------------------------- *)
+
+let fingerprint sched =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "R %d %d %d %.17g %.17g\n" r.Schedule.r_task
+           r.Schedule.r_index r.Schedule.r_proc r.Schedule.r_start
+           r.Schedule.r_finish);
+      List.iter
+        (function
+          | Schedule.Local { l_pred; l_pred_replica; l_finish } ->
+              Buffer.add_string b
+                (Printf.sprintf "L %d %d %.17g\n" l_pred l_pred_replica
+                   l_finish)
+          | Schedule.Message m ->
+              Buffer.add_string b
+                (Printf.sprintf "M %d %d %d %d %.17g %.17g %.17g %.17g\n"
+                   m.Netstate.m_source.Netstate.s_task
+                   m.Netstate.m_source.Netstate.s_replica
+                   m.Netstate.m_source.Netstate.s_proc m.Netstate.m_dst_proc
+                   m.Netstate.m_duration m.Netstate.m_leg_start
+                   m.Netstate.m_leg_finish m.Netstate.m_arrival))
+        r.Schedule.r_inputs)
+    (Schedule.all_replicas sched);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let instance ~seed ~m ~tasks =
+  let rng = Rng.create seed in
+  let dag =
+    Random_dag.generate rng
+      { Random_dag.default with Random_dag.tasks_min = tasks; tasks_max = tasks }
+  in
+  let params = Platform_gen.default ~m () in
+  Platform_gen.instance rng ~granularity:1.0 params dag
+
+let ring_instance ~seed ~m =
+  let rng = Rng.create seed in
+  let dag =
+    Random_dag.generate rng
+      { Random_dag.default with Random_dag.tasks_min = 25; tasks_max = 25 }
+  in
+  let topo = Topology.ring m in
+  let platform = Topology.platform topo in
+  let costs =
+    Costs.create dag platform (fun t p ->
+        50. +. (17. *. float_of_int ((t + (3 * p)) mod 7)))
+  in
+  (costs, Topology.fabric topo)
+
+(* Digests recorded from the seed commit (pre-fast-path code): the
+   optimization must keep every schedule byte-identical. *)
+let golden_cases =
+  [
+    ( "caft/seed1/m6/eps1",
+      "f72383a7b99fba3248753240d9ddfcf2",
+      fun () -> Caft.run ~seed:101 ~epsilon:1 (instance ~seed:1 ~m:6 ~tasks:30)
+    );
+    ( "caft/seed2/m10/eps2",
+      "8dfe26d82319dcb434d89252a9530289",
+      fun () ->
+        Caft.run ~seed:202 ~epsilon:2 (instance ~seed:2 ~m:10 ~tasks:40) );
+    ( "caft/insertion/seed1/m6/eps1",
+      "5e21f4b76d89d1012bb0ae05face0feb",
+      fun () ->
+        Caft.run ~insertion:true ~seed:101 ~epsilon:1
+          (instance ~seed:1 ~m:6 ~tasks:30) );
+    ( "caft-full/seed1/m6/eps1",
+      "d7fe8969ac8e66d293cdc533173d9ed5",
+      fun () ->
+        Caft.run ~one_to_one:false ~seed:101 ~epsilon:1
+          (instance ~seed:1 ~m:6 ~tasks:30) );
+    ( "caft-macro/seed3/m8/eps1",
+      "ce6fbd9bef873a8d470b621c96f5b4d9",
+      fun () ->
+        Caft.run ~model:Netstate.Macro_dataflow ~seed:303 ~epsilon:1
+          (instance ~seed:3 ~m:8 ~tasks:30) );
+    ( "caft-mp2/seed3/m8/eps1",
+      "d0f69dcc6c76dbfe2f183e62ced77db7",
+      fun () ->
+        Caft.run ~model:(Netstate.Multiport 2) ~seed:303 ~epsilon:1
+          (instance ~seed:3 ~m:8 ~tasks:30) );
+    ( "ftsa/seed1/m6/eps1",
+      "85a948c83ff792155c41722ea1eb5576",
+      fun () -> Ftsa.run ~seed:101 ~epsilon:1 (instance ~seed:1 ~m:6 ~tasks:30)
+    );
+    ( "ftsa/insertion/seed2/m8/eps2",
+      "860997e4956ffa3e5076d507aa448aaf",
+      fun () ->
+        Ftsa.run ~insertion:true ~seed:202 ~epsilon:2
+          (instance ~seed:2 ~m:8 ~tasks:30) );
+    ( "ftbar/seed1/m6/eps1",
+      "cf39a83f77e0f8b349ef09310ae63b0f",
+      fun () ->
+        Ftbar.run ~seed:101 ~epsilon:1 (instance ~seed:1 ~m:6 ~tasks:30) );
+    ( "ftbar/insertion/seed2/m8/eps2",
+      "796fe6cea7800b9b1db15e646cdf99b2",
+      fun () ->
+        Ftbar.run ~insertion:true ~seed:202 ~epsilon:2
+          (instance ~seed:2 ~m:8 ~tasks:30) );
+    ( "caft-batch5/seed4/m6/eps1",
+      "3c0da465bdb0d2ce637f871cda04966f",
+      fun () ->
+        Caft_batch.run ~seed:404 ~window:5 ~epsilon:1
+          (instance ~seed:4 ~m:6 ~tasks:30) );
+    ( "caft-ring/seed5/m8/eps1",
+      "f0dc42464d7ca8a6ae4bbe7678cedd07",
+      fun () ->
+        let costs, fabric = ring_instance ~seed:5 ~m:8 in
+        Caft.run ~fabric ~seed:505 ~epsilon:1 costs );
+    ( "heft/seed5/m6",
+      "c0906788be6a48e4a1786544e4fc1c3a",
+      fun () -> Heft.run ~seed:505 (instance ~seed:5 ~m:6 ~tasks:30) );
+  ]
+
+let test_golden_schedules () =
+  List.iter
+    (fun (name, expected, run) ->
+      Alcotest.(check string) name expected (fingerprint (run ())))
+    golden_cases
+
+(* -- pruning metric ---------------------------------------------------- *)
+
+let test_pruning_fires () =
+  Obs_metrics.set_enabled true;
+  Obs_metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs_metrics.reset ();
+      Obs_metrics.set_enabled false)
+    (fun () ->
+      ignore (Caft.run ~epsilon:2 (instance ~seed:7 ~m:10 ~tasks:40));
+      let counter name =
+        match Obs_metrics.find name with
+        | Some (Obs_metrics.Counter n) -> n
+        | _ -> Alcotest.failf "counter %s missing" name
+      in
+      let evaluated = counter "caft.candidates_evaluated" in
+      let pruned = counter "caft.candidates_pruned" in
+      Helpers.check_bool "some candidates evaluated" true (evaluated > 0);
+      Helpers.check_bool "some candidates pruned" true (pruned > 0))
+
+let suite =
+  [
+    Alcotest.test_case "with_trial == snapshot/restore (120 seeds)" `Quick
+      test_trial_vs_snapshot;
+    Alcotest.test_case "schedules byte-identical to seed commit" `Quick
+      test_golden_schedules;
+    Alcotest.test_case "candidate pruning fires" `Quick test_pruning_fires;
+  ]
