@@ -17,6 +17,10 @@
 let figure_timings : (int * float * int) list ref = ref []
 let bechamel_estimates : (string * float) list ref = ref []
 let placement_estimates : (string * float) list ref = ref []
+let replay_estimates : (string * float) list ref = ref []
+
+(* (domains, runs, wall seconds, scenarios per second) *)
+let replay_domain_rows : (int * int * float * float) list ref = ref []
 
 let run_figures figures graphs seed domains =
   List.iter
@@ -755,6 +759,123 @@ let placement_bench ?(quick = false) () =
      journal path undoes only the cells written)";
   print_newline ()
 
+(* -- replay microbench: rebuild-per-scenario vs compiled eval ----------- *)
+
+(* One crash scenario on a paper-sized schedule.  The [rebuild] variant is
+   the pre-optimization path (the whole event graph — node numbering,
+   dependency edges, port/link chains, route evaluation — is rebuilt for
+   the scenario); the [compiled] variant reuses a [Replay.compile]d
+   simulator and runs only the Kahn pass over its scratch arena, which is
+   what Monte-Carlo and fault-check campaigns now do per scenario. *)
+let replay_case m =
+  let rng = Rng.create (2000 + m) in
+  let dag = Random_dag.generate_default rng in
+  let params = Platform_gen.default ~m () in
+  let costs = Platform_gen.instance rng ~granularity:1.0 params dag in
+  let sched = Caft.run ~epsilon:2 costs in
+  let crash_time =
+    Array.init m (fun p -> if p < 2 then neg_infinity else infinity)
+  in
+  let compiled = Replay.compile sched in
+  let rebuild () = Replay.reference sched ~crash_time in
+  let compiled_eval () = Replay.eval_latency compiled ~crash_time in
+  (sched, rebuild, compiled_eval)
+
+let replay_ms = [ 10; 25; 50 ]
+
+let replay_bench ?(quick = false) () =
+  let open Bechamel in
+  print_endline
+    "=== Replay microbench: rebuild-per-scenario vs compiled eval ===";
+  let test name f = Test.make ~name (Staged.stage f) in
+  let scheds = List.map (fun m -> (m, replay_case m)) replay_ms in
+  let tests =
+    Test.make_grouped ~name:"replay"
+      (List.concat_map
+         (fun (m, (_, rebuild, compiled_eval)) ->
+           [
+             test (Printf.sprintf "rebuild/m=%03d" m) rebuild;
+             test (Printf.sprintf "compiled/m=%03d" m) compiled_eval;
+           ])
+         scheds)
+  in
+  let limit, quota =
+    if quick then (300, Time.second 0.05) else (2000, Time.second 0.5)
+  in
+  let rows = run_bechamel ~limit ~quota tests in
+  replay_estimates := rows;
+  let find kind m =
+    match List.assoc_opt (Printf.sprintf "replay/%s/m=%03d" kind m) rows with
+    | Some ns -> ns
+    | None -> nan
+  in
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [ "m"; "rebuild/scenario"; "compiled/scenario"; "speedup" ]
+  in
+  List.iter
+    (fun m ->
+      let rebuild_ns = find "rebuild" m and compiled_ns = find "compiled" m in
+      Text_table.add_row t
+        [
+          string_of_int m;
+          Printf.sprintf "%.2f us" (rebuild_ns /. 1e3);
+          Printf.sprintf "%.2f us" (compiled_ns /. 1e3);
+          Printf.sprintf "%.1fx" (rebuild_ns /. compiled_ns);
+        ])
+    replay_ms;
+  Text_table.print t;
+  print_endline
+    "(cost of replaying one crash scenario; the rebuild path reconstructs \
+     the event graph\n per scenario, the compiled path runs only the Kahn \
+     pass over a preallocated arena)";
+  print_newline ();
+  (* domain scaling of a whole Monte-Carlo campaign on the largest case *)
+  let sched, _, _ = List.assoc (List.nth replay_ms 2) scheds in
+  (* enough runs that the one compile per domain amortizes *)
+  let runs = if quick then 2000 else 10_000 in
+  print_endline
+    (Printf.sprintf
+       "=== Monte-Carlo scaling: %d from-start scenarios, m=%d (%d core%s \
+        available) ==="
+       runs (List.nth replay_ms 2)
+       (Domain.recommended_domain_count ())
+       (if Domain.recommended_domain_count () = 1 then "" else "s"));
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [ "domains"; "wall"; "scenarios/s"; "scaling" ]
+  in
+  let wall1 = ref nan in
+  List.iter
+    (fun domains ->
+      let t0 = Obs_clock.now () in
+      let report =
+        Monte_carlo.run ~seed:3 ~runs ~domains ~crashes:2
+          ~mode:Monte_carlo.From_start sched
+      in
+      ignore (report : Monte_carlo.report);
+      let wall = Obs_clock.now () -. t0 in
+      if domains = 1 then wall1 := wall;
+      let per_sec = float_of_int runs /. wall in
+      replay_domain_rows :=
+        !replay_domain_rows @ [ (domains, runs, wall, per_sec) ];
+      Text_table.add_row t
+        [
+          string_of_int domains;
+          Printf.sprintf "%.3f s" wall;
+          Printf.sprintf "%.0f" per_sec;
+          Printf.sprintf "%.2fx" (!wall1 /. wall);
+        ])
+    [ 1; 2; 4 ];
+  Text_table.print t;
+  print_endline
+    "(same pre-drawn scenario set and byte-identical report for every \
+     domain count;\n scaling above 1.0x needs more cores than domains — on \
+     a single-core host the\n extra domains are pure spawn/GC overhead)";
+  print_newline ()
+
 (* -- machine-readable summary ------------------------------------------ *)
 
 let write_bench_json path ~seed ~graphs ~domains =
@@ -812,6 +933,40 @@ let write_bench_json path ~seed ~graphs ~domains =
                           ])
                  | _ -> None)
                placement_ms) );
+        ( "replay",
+          Json.List
+            (List.filter_map
+               (fun m ->
+                 let find kind =
+                   List.assoc_opt
+                     (Printf.sprintf "replay/%s/m=%03d" kind m)
+                     !replay_estimates
+                 in
+                 match (find "rebuild", find "compiled") with
+                 | Some rebuild_ns, Some compiled_ns ->
+                     Some
+                       (Json.Obj
+                          [
+                            ("m", Json.Int m);
+                            ("rebuild_ns_per_scenario", float_or_null rebuild_ns);
+                            ( "compiled_ns_per_scenario",
+                              float_or_null compiled_ns );
+                            ("speedup", float_or_null (rebuild_ns /. compiled_ns));
+                          ])
+                 | _ -> None)
+               replay_ms) );
+        ( "replay_domains",
+          Json.List
+            (List.map
+               (fun (domains, runs, wall, per_sec) ->
+                 Json.Obj
+                   [
+                     ("domains", Json.Int domains);
+                     ("runs", Json.Int runs);
+                     ("wall_seconds", Json.Float wall);
+                     ("scenarios_per_sec", float_or_null per_sec);
+                   ])
+               !replay_domain_rows) );
       ]
   in
   let oc = open_out path in
@@ -821,11 +976,13 @@ let write_bench_json path ~seed ~graphs ~domains =
       output_string oc (Json.to_string ~indent:2 json);
       output_char oc '\n');
   Obs_log.info
-    "wrote %s (%d figures, %d bechamel estimates, %d placement estimates)"
+    "wrote %s (%d figures, %d bechamel estimates, %d placement estimates, %d \
+     replay estimates)"
     path
     (List.length !figure_timings)
     (List.length !bechamel_estimates)
     (List.length !placement_estimates)
+    (List.length !replay_estimates)
 
 (* -- command line ------------------------------------------------------ *)
 
@@ -837,6 +994,7 @@ let () =
   let tables = ref [] in
   let bechamel = ref false in
   let placement = ref false in
+  let replay = ref false in
   let quick = ref false in
   let all = ref true in
   let json = ref "BENCH_schedulers.json" in
@@ -874,9 +1032,16 @@ let () =
             placement := true),
         "  run the placement microbench only (snapshot vs undo-journal \
          trials)" );
+      ( "--replay",
+        Arg.Unit
+          (fun () ->
+            all := false;
+            replay := true),
+        "  run the replay microbench only (rebuild-per-scenario vs compiled \
+         eval, domain scaling)" );
       ( "--quick",
         Arg.Set quick,
-        "  shrink the placement microbench quota (CI smoke mode)" );
+        "  shrink the microbench quotas (CI smoke mode)" );
       ( "--json",
         Arg.Set_string json,
         "FILE  machine-readable summary (default BENCH_schedulers.json; \
@@ -899,7 +1064,8 @@ let () =
     passive_table !graphs !seed;
     models_table !graphs !seed;
     bechamel_benches ();
-    placement_bench ~quick:!quick ()
+    placement_bench ~quick:!quick ();
+    replay_bench ~quick:!quick ()
   end
   else begin
     if !figures <> [] then run_figures !figures !graphs !seed !domains;
@@ -918,7 +1084,8 @@ let () =
         | other -> Obs_log.warn "unknown table %s" other)
       !tables;
     if !bechamel then bechamel_benches ();
-    if !placement then placement_bench ~quick:!quick ()
+    if !placement then placement_bench ~quick:!quick ();
+    if !replay then replay_bench ~quick:!quick ()
   end;
   if !json <> "" then
     write_bench_json !json ~seed:!seed ~graphs:!graphs ~domains:!domains

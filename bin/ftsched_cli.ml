@@ -242,8 +242,18 @@ let crash_cmd =
       & info [ "random-crashes" ] ~docv:"K"
           ~doc:"Crash K processors chosen uniformly instead of --crash.")
   in
-  let run seed m tasks epsilon granularity algo model family crashed random_crashes obs =
+  let domains_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Accepted for symmetry with check/montecarlo; a single replay \
+             always runs on one domain.")
+  in
+  let run seed m tasks epsilon granularity algo model family crashed random_crashes domains obs =
     with_obs obs @@ fun () ->
+    ignore (domains : int option);
     let _, costs = make_instance ~seed ~family ~tasks ~m ~granularity () in
     let sched = run_algo algo ~model ~seed ~epsilon costs in
     let crashed =
@@ -268,18 +278,27 @@ let crash_cmd =
   let term =
     Term.(
       const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
-      $ model_t $ family_t $ crashed_t $ random_t $ obs_t)
+      $ model_t $ family_t $ crashed_t $ random_t $ domains_t $ obs_t)
   in
   Cmd.v (Cmd.info "crash" ~doc:"Replay a schedule under processor failures") term
 
 (* -- check -------------------------------------------------------------- *)
 
 let check_cmd =
-  let run seed m tasks epsilon granularity algo model family obs =
+  let domains_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Shard the exhaustive crash-set enumeration over N domains \
+             (the report is identical for any N).")
+  in
+  let run seed m tasks epsilon granularity algo model family domains obs =
     with_obs obs @@ fun () ->
     let _, costs = make_instance ~seed ~family ~tasks ~m ~granularity () in
     let sched = run_algo algo ~model ~seed ~epsilon costs in
-    let report = Fault_check.check ~epsilon sched in
+    let report = Fault_check.check ?domains ~epsilon sched in
     Format.printf "%s, epsilon=%d: %s (%d scenarios%s)@."
       (Schedule.algorithm sched) epsilon
       (if report.Fault_check.resists then "resists" else "DOES NOT RESIST")
@@ -298,7 +317,7 @@ let check_cmd =
   let term =
     Term.(
       const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
-      $ model_t $ family_t $ obs_t)
+      $ model_t $ family_t $ domains_t $ obs_t)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Verify fault tolerance by crash-set enumeration")
@@ -494,7 +513,16 @@ let montecarlo_cmd =
             "Crash at uniform random instants within the schedule horizon \
              instead of from time zero.")
   in
-  let run seed m tasks epsilon granularity algo model family runs crashes timed obs =
+  let domains_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Evaluate the replays over N domains (the report is identical \
+             for any N).")
+  in
+  let run seed m tasks epsilon granularity algo model family runs crashes timed domains obs =
     with_obs obs @@ fun () ->
     let _, costs = make_instance ~seed ~family ~tasks ~m ~granularity () in
     let sched = run_algo algo ~model ~seed ~epsilon costs in
@@ -508,14 +536,16 @@ let montecarlo_cmd =
       (Schedule.algorithm sched) epsilon runs crashes
       (if timed then "timed" else "from-start")
       (Schedule.latency_zero_crash sched);
-    let report = Monte_carlo.run ~seed:(seed + 1) ~runs ~crashes ~mode sched in
+    let report =
+      Monte_carlo.run ~seed:(seed + 1) ~runs ?domains ~crashes ~mode sched
+    in
     Format.printf "%a@." Monte_carlo.pp report;
     0
   in
   let term =
     Term.(
       const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
-      $ model_t $ family_t $ runs_t $ crashes_t $ timed_t $ obs_t)
+      $ model_t $ family_t $ runs_t $ crashes_t $ timed_t $ domains_t $ obs_t)
   in
   Cmd.v
     (Cmd.info "montecarlo" ~doc:"Monte-Carlo fault injection on one schedule")

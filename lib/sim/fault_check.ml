@@ -14,40 +14,22 @@ let m_scenarios =
 (* -- crash-set enumeration --------------------------------------------- *)
 
 (* The hot path iterates increasing k-subsets of [0, n-1] with an in-place
-   index array and an incrementally-maintained Bitset mask — no per-subset
-   allocation.  [f mask idx] must not retain either argument; it returns
-   [false] to stop the enumeration early. *)
-let iter_subsets ~n ~k f =
-  if k = 0 then ignore (f (Bitset.create (max n 0)) [||])
-  else if k > 0 && k <= n then begin
-    let idx = Array.init k (fun i -> i) in
-    let mask = Bitset.create n in
-    Array.iter (Bitset.add mask) idx;
-    let continue = ref true in
-    while !continue do
-      if not (f mask idx) then continue := false
-      else begin
-        (* lexicographic successor: bump the rightmost index that still
-           has room, reset the suffix right after it *)
-        let i = ref (k - 1) in
-        while !i >= 0 && idx.(!i) = n - k + !i do
-          decr i
-        done;
-        if !i < 0 then continue := false
-        else begin
-          for j = !i to k - 1 do
-            Bitset.remove mask idx.(j)
-          done;
-          idx.(!i) <- idx.(!i) + 1;
-          for j = !i + 1 to k - 1 do
-            idx.(j) <- idx.(j - 1) + 1
-          done;
-          for j = !i to k - 1 do
-            Bitset.add mask idx.(j)
-          done
-        end
-      end
-    done
+   index array — the crash-time scratch is filled straight from it, so no
+   list (or Bitset mask) is materialized per subset.  [advance_subset]
+   steps [idx] to its lexicographic successor; it returns [false] when
+   [idx] was the last subset. *)
+let advance_subset ~n ~k idx =
+  let i = ref (k - 1) in
+  while !i >= 0 && idx.(!i) = n - k + !i do
+    decr i
+  done;
+  if !i < 0 then false
+  else begin
+    idx.(!i) <- idx.(!i) + 1;
+    for j = !i + 1 to k - 1 do
+      idx.(j) <- idx.(j - 1) + 1
+    done;
+    true
   end
 
 (* thin wrapper for tests: same subsets, as materialized lists *)
@@ -90,10 +72,44 @@ let count_combinations n k =
     go 1 1
   end
 
+(* Lexicographic unranking (combinatorial number system): the [rank]-th
+   increasing k-subset of [0, n-1], counting from 0 — the entry point of
+   an enumeration shard.  Requires [0 <= rank < count_combinations n k],
+   which the exhaustive check guarantees via [max_exhaustive], far below
+   the saturation threshold of [count_combinations]. *)
+let subset_at_rank ~n ~k rank =
+  let idx = Array.make k 0 in
+  let rank = ref rank in
+  let next = ref 0 in
+  for i = 0 to k - 1 do
+    (* smallest element c >= next leaving more than [rank] subsets after
+       fixing prefix..c *)
+    let rec find c =
+      let after = count_combinations (n - c - 1) (k - i - 1) in
+      if after <= !rank then begin
+        rank := !rank - after;
+        find (c + 1)
+      end
+      else c
+    in
+    let c = find !next in
+    idx.(i) <- c;
+    next := c + 1
+  done;
+  idx
+
 (* -- the check --------------------------------------------------------- *)
 
-let check ?(max_exhaustive = 20000) ?(samples = 1000) ?(seed = 7) ?static
-    ~epsilon sched =
+(* One shard of the exhaustive enumeration: ranks [start, stop). *)
+type shard = {
+  sh_start : int;
+  sh_worst : float;  (* max completed latency before the counterexample *)
+  sh_counterexample : (int * Platform.proc list * Dag.task list) option;
+      (* rank, crash set, starved tasks — the shard's lowest-rank refutation *)
+}
+
+let check ?(max_exhaustive = 20000) ?(samples = 1000) ?(seed = 7)
+    ?(domains = 1) ?static ~epsilon sched =
   let m = Platform.proc_count (Schedule.platform sched) in
   let epsilon = min epsilon m in
   let total = count_combinations m epsilon in
@@ -101,29 +117,104 @@ let check ?(max_exhaustive = 20000) ?(samples = 1000) ?(seed = 7) ?static
   let checked = ref 0 in
   let counterexample = ref None in
   let worst = ref nan in
-  let try_scenario crashed =
-    incr checked;
-    Obs_metrics.incr m_scenarios;
-    let out = Replay.crash_from_start sched ~crashed in
-    if not out.Replay.completed then begin
-      counterexample := Some (crashed, out.Replay.failed_tasks);
-      false
-    end
-    else begin
-      if Float.is_nan !worst || out.Replay.latency > !worst then
-        worst := out.Replay.latency;
-      true
-    end
+  (* one compiled simulator + crash-time scratch per domain *)
+  let sim =
+    Domain.DLS.new_key (fun () ->
+        (Replay.compile sched, Array.make m infinity))
   in
-  if exhaustive then
-    iter_subsets ~n:m ~k:epsilon (fun _mask idx ->
-        try_scenario (Array.to_list idx))
+  let fill_crash_time crash_time idx =
+    Array.fill crash_time 0 m infinity;
+    Array.iter (fun p -> crash_time.(p) <- neg_infinity) idx
+  in
+  if exhaustive then begin
+    (* Shard the rank space into [domains] contiguous ranges.  Each shard
+       stops at its own first counterexample; the combine step keeps the
+       lowest-rank one, so the report cannot depend on [domains]: the
+       scenarios at ranks below the winning rank are exactly those the
+       sequential enumeration would have completed. *)
+    let shards = max 1 (min domains total) in
+    let bounds = Array.init (shards + 1) (fun i -> total * i / shards) in
+    let run_shard i =
+      let start = bounds.(i) and stop = bounds.(i + 1) in
+      let c, crash_time = Domain.DLS.get sim in
+      let idx = subset_at_rank ~n:m ~k:epsilon start in
+      let rank = ref start in
+      let sh_worst = ref nan in
+      let sh_ce = ref None in
+      while !rank < stop && !sh_ce = None do
+        Obs_metrics.incr m_scenarios;
+        fill_crash_time crash_time idx;
+        let lat = Replay.eval_latency c ~crash_time in
+        if Float.is_nan lat then begin
+          (* re-evaluate in full (once per shard at most) for the task list *)
+          let out = Replay.eval c ~crash_time in
+          sh_ce :=
+            Some (!rank, Array.to_list idx, out.Replay.failed_tasks)
+        end
+        else begin
+          if Float.is_nan !sh_worst || lat > !sh_worst then sh_worst := lat;
+          incr rank;
+          if !rank < stop then ignore (advance_subset ~n:m ~k:epsilon idx)
+        end
+      done;
+      { sh_start = start; sh_worst = !sh_worst; sh_counterexample = !sh_ce }
+    in
+    let results =
+      Parallel.map ~domains run_shard (List.init shards (fun i -> i))
+    in
+    let winner =
+      List.fold_left
+        (fun acc sh ->
+          match (acc, sh.sh_counterexample) with
+          | None, Some _ -> Some sh
+          | Some best, Some (r, _, _) ->
+              let br =
+                match best.sh_counterexample with
+                | Some (br, _, _) -> br
+                | None -> assert false
+              in
+              if r < br then Some sh else acc
+          | _, None -> acc)
+        None results
+    in
+    match winner with
+    | Some { sh_counterexample = Some (r, crashed, failed); _ } ->
+        counterexample := Some (crashed, failed);
+        checked := r + 1;
+        (* worst over the completed scenarios at ranks below [r] only —
+           shards beyond the winning rank are discarded *)
+        List.iter
+          (fun sh ->
+            if sh.sh_start <= r && not (Float.is_nan sh.sh_worst) then
+              if Float.is_nan !worst || sh.sh_worst > !worst then
+                worst := sh.sh_worst)
+          results
+    | _ ->
+        checked := total;
+        List.iter
+          (fun sh ->
+            if not (Float.is_nan sh.sh_worst) then
+              if Float.is_nan !worst || sh.sh_worst > !worst then
+                worst := sh.sh_worst)
+          results
+  end
   else begin
     let rng = Rng.create seed in
+    let c, crash_time = Domain.DLS.get sim in
     let i = ref 0 in
     while !i < samples && !counterexample = None do
       incr i;
-      ignore (try_scenario (Rng.sample_without_replacement rng epsilon m))
+      incr checked;
+      Obs_metrics.incr m_scenarios;
+      let crashed = Rng.sample_without_replacement rng epsilon m in
+      Array.fill crash_time 0 m infinity;
+      List.iter (fun p -> crash_time.(p) <- neg_infinity) crashed;
+      let lat = Replay.eval_latency c ~crash_time in
+      if Float.is_nan lat then begin
+        let out = Replay.eval c ~crash_time in
+        counterexample := Some (crashed, out.Replay.failed_tasks)
+      end
+      else if Float.is_nan !worst || lat > !worst then worst := lat
     done
   end;
   (* Cross-validation against the static supply-graph certificate.  The

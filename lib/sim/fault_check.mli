@@ -9,9 +9,15 @@
     exhaustively when the count is reasonable and falls back to random
     sampling otherwise.
 
-    The exhaustive enumeration runs over in-place [Ftsched_util.Bitset]
-    crash masks (no per-subset allocation); {!combinations} remains as a
-    list-producing wrapper for tests.
+    The exhaustive enumeration walks an in-place index array and fills a
+    reused crash-time scratch straight from it (no per-subset allocation),
+    evaluating against a compiled replay simulator ({!Replay.compile});
+    {!combinations} remains as a list-producing wrapper for tests.  With
+    [?domains > 1] the rank space of the enumeration is sharded into
+    contiguous ranges, one per domain, and the {e lowest-rank}
+    counterexample wins — so the report is byte-identical for every
+    domain count (the scenarios completed below the winning rank are
+    exactly those the sequential enumeration would have completed).
 
     For an {e exact} verdict without enumeration, see
     [Ftsched_analysis.Resilience]; pass its report as [?static] to
@@ -37,6 +43,7 @@ val check :
   ?max_exhaustive:int ->
   ?samples:int ->
   ?seed:int ->
+  ?domains:int ->
   ?static:Resilience.report ->
   epsilon:int ->
   Schedule.t ->
@@ -48,6 +55,11 @@ val check :
     [epsilon] may differ from the schedule's replication degree — e.g. to
     show that an [epsilon]-replicated schedule does {e not} in general
     resist [epsilon + 1] failures.
+
+    [domains] (default [1]) shards the exhaustive enumeration across
+    OCaml domains (lowest-rank counterexample wins; the report is
+    byte-identical for any value).  Sampling mode is sequential — its
+    RNG draw order must not depend on the domain count.
 
     [static] cross-validates against a static ε-resistance report from
     [Ftsched_analysis.Resilience.certify]: the result's [static_agrees]
@@ -63,3 +75,10 @@ val combinations : int -> int -> int list Seq.t
 
 val count_combinations : int -> int -> int
 (** Binomial coefficient, saturating at [max_int]. *)
+
+val subset_at_rank : n:int -> k:int -> int -> int array
+(** [subset_at_rank ~n ~k rank] is the [rank]-th (from 0) increasing
+    [k]-subset of [\[0, n-1\]] in lexicographic order — the entry point
+    of an enumeration shard.  Requires
+    [0 <= rank < count_combinations n k] with the count far from
+    saturation.  Exposed for tests. *)

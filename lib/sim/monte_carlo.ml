@@ -13,38 +13,71 @@ let m_scenarios =
   Obs_metrics.counter ~help:"Monte-Carlo crash scenarios drawn"
     "montecarlo.scenarios"
 
-let run ?(seed = 20) ?(runs = 1000) ?fabric ~crashes ~mode sched =
+let g_throughput =
+  Obs_metrics.gauge ~help:"replay scenarios evaluated per second (last campaign)"
+    "replay.scenarios_per_sec"
+
+let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?fabric ~crashes ~mode sched
+    =
   if runs < 1 then invalid_arg "Monte_carlo.run: runs < 1";
   let rng = Rng.create seed in
   let m = Platform.proc_count (Schedule.platform sched) in
   let l0 = Schedule.latency_zero_crash sched in
-  let latencies = ref [] in
-  let completed = ref 0 in
-  let replays = ref 0 in
+  (* Pre-draw every scenario from the root RNG, in run order, before any
+     evaluation: the scenario set is byte-identical to the sequential
+     run whatever [domains] is.  A from-start crash is a timed crash at
+     [neg_infinity], so both modes share one representation. *)
+  let scenarios = ref [] in
   for _ = 1 to runs do
     Obs_metrics.incr m_scenarios;
-    incr replays;
-    let out =
+    let scenario =
       match mode with
       | From_start ->
-          let crashed = Scenario.uniform_procs rng ~m ~count:crashes in
-          Replay.crash_from_start ?fabric sched ~crashed
-      | Timed horizon ->
-          let scenario = Scenario.timed rng ~m ~count:crashes ~horizon in
-          Replay.crash_timed ?fabric sched ~crashes:scenario
+          List.map
+            (fun p -> (p, neg_infinity))
+            (Scenario.uniform_procs rng ~m ~count:crashes)
+      | Timed horizon -> Scenario.timed rng ~m ~count:crashes ~horizon
     in
-    if out.Replay.completed then begin
-      incr completed;
-      latencies := out.Replay.latency :: !latencies
-    end
+    scenarios := scenario :: !scenarios
   done;
+  let scenarios = List.rev !scenarios in
+  (* One compiled simulator + crash-time scratch per domain: a [compiled]
+     value owns its arena and must not be shared. *)
+  let sim =
+    Domain.DLS.new_key (fun () ->
+        (Replay.compile ?fabric sched, Array.make m infinity))
+  in
+  let eval_one scenario =
+    let c, crash_time = Domain.DLS.get sim in
+    Array.fill crash_time 0 m infinity;
+    List.iter
+      (fun (p, tau) ->
+        crash_time.(p) <- Float.min crash_time.(p) tau)
+      scenario;
+    Replay.eval_latency c ~crash_time
+  in
+  let t0 = Obs_clock.now () in
+  let lats = Parallel.map ~domains eval_one scenarios in
+  let dt = Obs_clock.now () -. t0 in
+  if dt > 0. then Obs_metrics.set g_throughput (float_of_int runs /. dt);
+  (* Aggregate in run order so the Kahan sums in [Stats.summarize] see
+     the same list (hence the same rounding) as the sequential loop. *)
+  let latencies = ref [] in
+  let completed = ref 0 in
+  List.iter
+    (fun lat ->
+      if not (Float.is_nan lat) then begin
+        incr completed;
+        latencies := lat :: !latencies
+      end)
+    lats;
   let latency =
     match !latencies with [] -> None | ls -> Some (Stats.summarize ls)
   in
   {
     runs;
     completed = !completed;
-    replays = !replays;
+    replays = runs;
     latency;
     worst_slowdown =
       (match latency with

@@ -27,6 +27,7 @@ type report = {
 val run :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?fabric:Netstate.fabric ->
   crashes:int ->
   mode:mode ->
@@ -35,6 +36,14 @@ val run :
 (** [run ~crashes ~mode sched] replays [runs] (default 1000) scenarios,
     each crashing [crashes] distinct processors chosen uniformly.  With
     [mode = From_start] and [crashes <= epsilon] on a fault-tolerant
-    schedule, [failure_rate] is [0.] by Proposition 5.2. *)
+    schedule, [failure_rate] is [0.] by Proposition 5.2.
+
+    [domains] (default [1]) spreads the replays over OCaml domains with
+    one compiled simulator per domain ({!Replay.compile}).  All scenarios
+    are pre-drawn from the root RNG and aggregated in run order, so the
+    report is byte-identical for every [domains] value (pinned by the
+    test suite).  The default stays sequential because campaign code may
+    already be running one {!Parallel.map} over experiment points.  Sets
+    the [replay.scenarios_per_sec] gauge. *)
 
 val pp : Format.formatter -> report -> unit

@@ -12,15 +12,28 @@ type outcome = {
 
 (* Internal event graph.  Nodes are replicas and messages; edges encode
    data prerequisites and the static order of each resource.  A Kahn
-   traversal computes dynamic times in one pass. *)
+   traversal computes dynamic times in one pass.
 
-type msg_state = { mutable m_delivered : float (* arrival, or infinity if dead *) }
+   The graph is crash-independent, so it is built once by [compile] and
+   shared by every [eval] of the same schedule; [reference] below keeps
+   the original build-then-traverse implementation as the differential
+   oracle and the rebuild-per-scenario bench baseline. *)
 
 let m_replays =
   Obs_metrics.counter ~help:"schedule replays run (all crash modes)"
     "replay.runs"
 
-let run sched ~fabric ~crash_time ~dead_links =
+let m_compiles =
+  Obs_metrics.counter ~help:"replay simulators compiled (one per schedule)"
+    "replay.compiles"
+
+(* ==================================================================== *)
+(* Reference implementation: rebuilds the event graph for one scenario. *)
+(* ==================================================================== *)
+
+type msg_state = { mutable m_delivered : float (* arrival, or infinity if dead *) }
+
+let reference ?fabric ?(dead_links = []) sched ~crash_time =
   Obs_metrics.incr m_replays;
   Obs_trace.with_span ~cat:"sim" "replay" @@ fun () ->
   let dag = Schedule.dag sched in
@@ -376,30 +389,635 @@ let run sched ~fabric ~crash_time ~dead_links =
     replicas = replica_result;
   }
 
-let crash_times sched f =
-  let m = Platform.proc_count (Schedule.platform sched) in
-  Array.init m f
+(* ==================================================================== *)
+(* Compiled simulator: everything crash-independent, built exactly once *)
+(* ==================================================================== *)
+
+(* Replica outcome states in the scratch arena. *)
+let st_crashed = 0
+let st_ran = 1
+let st_starved = 2
+
+type compiled = {
+  (* immutable description ------------------------------------------- *)
+  c_m : int;
+  c_v : int;
+  c_eps1 : int;
+  c_insertion : bool;
+  c_contended : bool;
+  c_port_slots : int;
+  c_nreplicas : int;
+  c_nmsgs : int;
+  (* dependency + resource-order edges, CSR *)
+  c_adj_off : int array;
+  c_adj : int array;
+  c_indeg0 : int array;
+  c_key : float array;  (* static-time Kahn priority per node *)
+  (* per replica node *)
+  c_r_proc : int array;
+  c_r_dur : float array;
+  (* supply index: replica node -> predecessor slots -> supply nodes.
+     A supply node < c_nreplicas is a co-located replica (read its
+     dynamic finish); otherwise it is a message node (read its dynamic
+     arrival). *)
+  c_pred_off : int array;   (* nreplicas + 1 *)
+  c_pred_task : int array;  (* per predecessor slot *)
+  c_sup_off : int array;    (* pred slots + 1 *)
+  c_sup : int array;
+  (* per message node, indexed by id - nreplicas *)
+  c_msg_src_rn : int array;
+  c_msg_src : int array;
+  c_msg_dst : int array;
+  c_msg_dur : float array;
+  c_route_off : int array;  (* nmsgs + 1; precomputed physical routes *)
+  c_route : int array;
+  c_phys_count : int;
+  (* scratch arena: reset in place at the start of every eval ---------- *)
+  s_indeg : int array;
+  s_finish : float array;     (* dynamic replica finish, infinity if not Ran *)
+  s_start : float array;      (* dynamic replica start (valid when Ran) *)
+  s_state : int array;        (* st_crashed / st_ran / st_starved *)
+  s_starved : int array;      (* starving predecessor (valid when Starved) *)
+  s_delivered : float array;  (* dynamic message arrival, infinity if dead *)
+  s_exec_free : float array;
+  s_busy : (float * float) list array;  (* insertion schedules only *)
+  s_send_free : float array array;
+  s_recv_free : float array array;
+  s_phys_free : float array;
+  s_msg_dead : bool array;    (* message rides a dead link this scenario *)
+  mutable s_dead_dirty : bool;
+  s_queue : int Heap.t;
+}
+
+let proc_count c = c.c_m
+
+let compile ?fabric sched =
+  Obs_metrics.incr m_compiles;
+  Obs_trace.with_span ~cat:"sim" "replay.compile" @@ fun () ->
+  let dag = Schedule.dag sched in
+  let platform = Schedule.platform sched in
+  let model = Schedule.model sched in
+  let m = Platform.proc_count platform in
+  let fabric =
+    match fabric with
+    | Some f -> f
+    | None -> Netstate.clique_fabric m
+  in
+  let v = Dag.task_count dag in
+  let eps1 = Schedule.epsilon sched + 1 in
+  let replica_node task idx = (task * eps1) + idx in
+  let nreplicas = v * eps1 in
+  let all_replicas = Schedule.all_replicas sched in
+
+  (* -- message node numbering (same discovery order as [reference]) -- *)
+  let messages = ref [] in
+  let nmsgs = ref 0 in
+  let consumer_msgs = Array.make nreplicas [] in
+  List.iter
+    (fun (r : Schedule.replica) ->
+      List.iter
+        (function
+          | Schedule.Message msg ->
+              let id = nreplicas + !nmsgs in
+              incr nmsgs;
+              messages := (id, msg) :: !messages;
+              let rn = replica_node r.Schedule.r_task r.Schedule.r_index in
+              consumer_msgs.(rn) <- (id, msg) :: consumer_msgs.(rn)
+          | Schedule.Local _ -> ())
+        r.Schedule.r_inputs)
+    all_replicas;
+  let messages = Array.of_list (List.rev !messages) in
+  let nmsgs = !nmsgs in
+  let nnodes = nreplicas + nmsgs in
+
+  (* -- edges (identical set to [reference]) -------------------------- *)
+  let adj = Array.make nnodes [] in
+  let indeg = Array.make nnodes 0 in
+  let add_edge a b =
+    adj.(a) <- b :: adj.(a);
+    indeg.(b) <- indeg.(b) + 1
+  in
+  Array.iter
+    (fun (id, msg) ->
+      let s = msg.Netstate.m_source in
+      add_edge (replica_node s.Netstate.s_task s.Netstate.s_replica) id)
+    messages;
+  List.iter
+    (fun (r : Schedule.replica) ->
+      let rn = replica_node r.Schedule.r_task r.Schedule.r_index in
+      List.iter
+        (function
+          | Schedule.Message _ -> ()
+          | Schedule.Local { l_pred; l_pred_replica; _ } ->
+              add_edge (replica_node l_pred l_pred_replica) rn)
+        r.Schedule.r_inputs;
+      List.iter (fun (id, _) -> add_edge id rn) consumer_msgs.(rn))
+    all_replicas;
+  let chain nodes =
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+          add_edge a b;
+          go rest
+      | [ _ ] | [] -> ()
+    in
+    go nodes
+  in
+  let insertion = Schedule.insertion sched in
+  if not insertion then
+    for p = 0 to m - 1 do
+      chain
+        (List.map
+           (fun (r : Schedule.replica) ->
+             replica_node r.Schedule.r_task r.Schedule.r_index)
+           (Schedule.on_proc sched p))
+    done;
+  let contended = model <> Netstate.Macro_dataflow in
+  (* Precomputed routes: [reference] re-evaluates [fabric.route] per
+     message per physical link (O(phys * msgs * route_len) per replay);
+     here each route is computed once and the link chains fall out of a
+     single bucketing pass. *)
+  let route_of =
+    Array.map
+      (fun (_, msg) ->
+        if contended then
+          Array.of_list
+            (fabric.Netstate.route msg.Netstate.m_source.Netstate.s_proc
+               msg.Netstate.m_dst_proc)
+        else [||])
+      messages
+  in
+  (if contended then begin
+     let chain_sorted bucket =
+       (* (key1, key2, id) triples sort exactly like ((key1, key2), id)
+          pairs; ids are unique, so the order is total and matches
+          [reference]'s [by_key]. *)
+       chain (List.map (fun (_, _, id) -> id) (List.sort compare bucket))
+     in
+     (if model = Netstate.One_port then begin
+        let send_bucket = Array.make m [] in
+        let recv_bucket = Array.make m [] in
+        Array.iter
+          (fun (id, msg) ->
+            let src = msg.Netstate.m_source.Netstate.s_proc in
+            let dst = msg.Netstate.m_dst_proc in
+            send_bucket.(src) <-
+              (msg.Netstate.m_leg_start, msg.Netstate.m_leg_finish, id)
+              :: send_bucket.(src);
+            recv_bucket.(dst) <-
+              ( msg.Netstate.m_arrival -. msg.Netstate.m_duration,
+                msg.Netstate.m_arrival,
+                id )
+              :: recv_bucket.(dst))
+          messages;
+        for p = 0 to m - 1 do
+          chain_sorted send_bucket.(p);
+          chain_sorted recv_bucket.(p)
+        done
+      end);
+     let link_bucket = Array.make fabric.Netstate.phys_count [] in
+     Array.iteri
+       (fun mi (id, msg) ->
+         Array.iter
+           (fun l ->
+             link_bucket.(l) <-
+               (msg.Netstate.m_leg_start, msg.Netstate.m_leg_finish, id)
+               :: link_bucket.(l))
+           route_of.(mi))
+       messages;
+     for l = 0 to fabric.Netstate.phys_count - 1 do
+       chain_sorted link_bucket.(l)
+     done
+   end);
+
+  (* -- flatten edges to CSR ------------------------------------------ *)
+  let adj_off = Array.make (nnodes + 1) 0 in
+  for n = 0 to nnodes - 1 do
+    adj_off.(n + 1) <- adj_off.(n) + List.length adj.(n)
+  done;
+  let adj_dat = Array.make adj_off.(nnodes) 0 in
+  for n = 0 to nnodes - 1 do
+    List.iteri (fun i n' -> adj_dat.(adj_off.(n) + i) <- n') adj.(n)
+  done;
+
+  (* -- per-node static data ------------------------------------------ *)
+  let key = Array.make nnodes 0. in
+  let r_proc = Array.make nreplicas 0 in
+  let r_dur = Array.make nreplicas 0. in
+  List.iter
+    (fun (r : Schedule.replica) ->
+      let rn = replica_node r.Schedule.r_task r.Schedule.r_index in
+      key.(rn) <- r.Schedule.r_start;
+      r_proc.(rn) <- r.Schedule.r_proc;
+      r_dur.(rn) <- r.Schedule.r_finish -. r.Schedule.r_start)
+    all_replicas;
+  let msg_src_rn = Array.make nmsgs 0 in
+  let msg_src = Array.make nmsgs 0 in
+  let msg_dst = Array.make nmsgs 0 in
+  let msg_dur = Array.make nmsgs 0. in
+  Array.iteri
+    (fun mi (id, msg) ->
+      let s = msg.Netstate.m_source in
+      key.(id) <- msg.Netstate.m_leg_start;
+      msg_src_rn.(mi) <- replica_node s.Netstate.s_task s.Netstate.s_replica;
+      msg_src.(mi) <- s.Netstate.s_proc;
+      msg_dst.(mi) <- msg.Netstate.m_dst_proc;
+      msg_dur.(mi) <- msg.Netstate.m_duration)
+    messages;
+  let route_off = Array.make (nmsgs + 1) 0 in
+  for mi = 0 to nmsgs - 1 do
+    route_off.(mi + 1) <- route_off.(mi) + Array.length route_of.(mi)
+  done;
+  let route_dat = Array.make route_off.(nmsgs) 0 in
+  for mi = 0 to nmsgs - 1 do
+    Array.iteri (fun i l -> route_dat.(route_off.(mi) + i) <- l) route_of.(mi)
+  done;
+
+  (* -- supply index: predecessor task -> surviving-supply candidates.
+        [reference] rescans [r_inputs] and [consumer_msgs] per
+        predecessor on every replay; resolved here once. -------------- *)
+  let pred_off = Array.make (nreplicas + 1) 0 in
+  let pred_tasks_of = Array.make nreplicas [||] in
+  List.iter
+    (fun (r : Schedule.replica) ->
+      let rn = replica_node r.Schedule.r_task r.Schedule.r_index in
+      pred_tasks_of.(rn) <- Array.of_list (Dag.pred_tasks dag r.Schedule.r_task))
+    all_replicas;
+  for rn = 0 to nreplicas - 1 do
+    pred_off.(rn + 1) <- pred_off.(rn) + Array.length pred_tasks_of.(rn)
+  done;
+  let npred_slots = pred_off.(nreplicas) in
+  let pred_task = Array.make npred_slots 0 in
+  let supplies = Array.make npred_slots [] in
+  List.iter
+    (fun (r : Schedule.replica) ->
+      let rn = replica_node r.Schedule.r_task r.Schedule.r_index in
+      Array.iteri
+        (fun i pred ->
+          let slot = pred_off.(rn) + i in
+          pred_task.(slot) <- pred;
+          let sup = ref [] in
+          List.iter
+            (function
+              | Schedule.Local { l_pred; l_pred_replica; _ } when l_pred = pred
+                ->
+                  sup := replica_node pred l_pred_replica :: !sup
+              | Schedule.Local _ -> ()
+              | Schedule.Message _ -> ())
+            r.Schedule.r_inputs;
+          List.iter
+            (fun (id, msg) ->
+              if msg.Netstate.m_source.Netstate.s_task = pred then
+                sup := id :: !sup)
+            consumer_msgs.(rn);
+          supplies.(slot) <- !sup)
+        pred_tasks_of.(rn))
+    all_replicas;
+  let sup_off = Array.make (npred_slots + 1) 0 in
+  for slot = 0 to npred_slots - 1 do
+    sup_off.(slot + 1) <- sup_off.(slot) + List.length supplies.(slot)
+  done;
+  let sup_dat = Array.make sup_off.(npred_slots) 0 in
+  for slot = 0 to npred_slots - 1 do
+    List.iteri (fun i s -> sup_dat.(sup_off.(slot) + i) <- s) supplies.(slot)
+  done;
+
+  (* -- acyclicity: checked once here so eval can skip it ------------- *)
+  (let deg = Array.copy indeg in
+   let stack = ref [] in
+   Array.iteri (fun n d -> if d = 0 then stack := n :: !stack) deg;
+   let processed = ref 0 in
+   let rec drain () =
+     match !stack with
+     | [] -> ()
+     | n :: rest ->
+         stack := rest;
+         incr processed;
+         for k = adj_off.(n) to adj_off.(n + 1) - 1 do
+           let n' = adj_dat.(k) in
+           deg.(n') <- deg.(n') - 1;
+           if deg.(n') = 0 then stack := n' :: !stack
+         done;
+         drain ()
+   in
+   drain ();
+   if !processed <> nnodes then
+     failwith "Replay.compile: cyclic schedule (inconsistent static order)");
+
+  let port_slots =
+    match model with Netstate.Multiport k -> max 1 k | _ -> 1
+  in
+  (* Allocation-free equivalent of [reference]'s polymorphic
+     [compare (static_key a) (static_key b)]: keys are finite floats, so
+     Float.compare-then-id gives the identical total order. *)
+  let cmp a b =
+    let d = Float.compare key.(a) key.(b) in
+    if d <> 0 then d else Stdlib.compare a b
+  in
+  {
+      c_m = m;
+      c_v = v;
+      c_eps1 = eps1;
+      c_insertion = insertion;
+      c_contended = contended;
+      c_port_slots = port_slots;
+      c_nreplicas = nreplicas;
+      c_nmsgs = nmsgs;
+      c_adj_off = adj_off;
+      c_adj = adj_dat;
+      c_indeg0 = indeg;
+      c_key = key;
+      c_r_proc = r_proc;
+      c_r_dur = r_dur;
+      c_pred_off = pred_off;
+      c_pred_task = pred_task;
+      c_sup_off = sup_off;
+      c_sup = sup_dat;
+      c_msg_src_rn = msg_src_rn;
+      c_msg_src = msg_src;
+      c_msg_dst = msg_dst;
+      c_msg_dur = msg_dur;
+      c_route_off = route_off;
+      c_route = route_dat;
+      c_phys_count = fabric.Netstate.phys_count;
+      s_indeg = Array.make nnodes 0;
+      s_finish = Array.make (max 1 nreplicas) infinity;
+      s_start = Array.make (max 1 nreplicas) 0.;
+      s_state = Array.make (max 1 nreplicas) st_crashed;
+      s_starved = Array.make (max 1 nreplicas) 0;
+      s_delivered = Array.make (max 1 nmsgs) infinity;
+      s_exec_free = Array.make m 0.;
+      s_busy = Array.make m [];
+      s_send_free = Array.init m (fun _ -> Array.make port_slots 0.);
+      s_recv_free = Array.init m (fun _ -> Array.make port_slots 0.);
+      s_phys_free = Array.make (max 1 fabric.Netstate.phys_count) 0.;
+      s_msg_dead = Array.make (max 1 nmsgs) false;
+      s_dead_dirty = false;
+      s_queue = Heap.create ~cmp;
+    }
+
+(* Reset the scratch arena and run the Kahn pass for one scenario.
+   [crash_time] is read, never written or retained. *)
+let eval_core c ~crash_time ~dead_links =
+  Obs_metrics.incr m_replays;
+  if Array.length crash_time <> c.c_m then
+    invalid_arg "Replay.eval: crash_time length <> processor count";
+  (* -- reset --------------------------------------------------------- *)
+  Array.fill c.s_finish 0 (Array.length c.s_finish) infinity;
+  Array.fill c.s_state 0 (Array.length c.s_state) st_crashed;
+  Array.fill c.s_delivered 0 (Array.length c.s_delivered) infinity;
+  Array.fill c.s_exec_free 0 c.c_m 0.;
+  if c.c_insertion then Array.fill c.s_busy 0 c.c_m [];
+  if c.c_contended then begin
+    for p = 0 to c.c_m - 1 do
+      Array.fill c.s_send_free.(p) 0 c.c_port_slots 0.;
+      Array.fill c.s_recv_free.(p) 0 c.c_port_slots 0.
+    done;
+    Array.fill c.s_phys_free 0 (Array.length c.s_phys_free) 0.
+  end;
+  (if c.s_dead_dirty then begin
+     Array.fill c.s_msg_dead 0 (Array.length c.s_msg_dead) false;
+     c.s_dead_dirty <- false
+   end);
+  (match dead_links with
+  | [] -> ()
+  | dl ->
+      c.s_dead_dirty <- true;
+      for mi = 0 to c.c_nmsgs - 1 do
+        c.s_msg_dead.(mi) <- List.mem (c.c_msg_src.(mi), c.c_msg_dst.(mi)) dl
+      done);
+
+  let min_slot slots = Array.fold_left Float.min infinity slots in
+  let argmin_slot slots =
+    let best = ref 0 in
+    Array.iteri (fun i v -> if v < slots.(!best) then best := i) slots;
+    !best
+  in
+  let fit_gap p ~ready ~dur =
+    let rec fit prev_end = function
+      | [] -> Float.max prev_end ready
+      | (s, f) :: rest ->
+          let cand = Float.max prev_end ready in
+          if cand +. dur <= s +. 1e-9 then cand
+          else fit (Float.max prev_end f) rest
+    in
+    fit 0. c.s_busy.(p)
+  in
+  let occupy p start finish =
+    let rec insert = function
+      | [] -> [ (start, finish) ]
+      | ((s, _) as iv) :: rest when s < start -> iv :: insert rest
+      | rest -> (start, finish) :: rest
+    in
+    c.s_busy.(p) <- insert c.s_busy.(p)
+  in
+  let link_free mi =
+    let acc = ref 0. in
+    for k = c.c_route_off.(mi) to c.c_route_off.(mi + 1) - 1 do
+      let f = c.s_phys_free.(c.c_route.(k)) in
+      if f > !acc then acc := f
+    done;
+    !acc
+  in
+  let occupy_link mi finish =
+    for k = c.c_route_off.(mi) to c.c_route_off.(mi + 1) - 1 do
+      c.s_phys_free.(c.c_route.(k)) <- finish
+    done
+  in
+
+  let process_replica rn =
+    let p = c.c_r_proc.(rn) in
+    let dur = c.c_r_dur.(rn) in
+    let starved = ref (-1) in
+    let data_ready = ref 0. in
+    for slot = c.c_pred_off.(rn) to c.c_pred_off.(rn + 1) - 1 do
+      let ready = ref infinity in
+      for k = c.c_sup_off.(slot) to c.c_sup_off.(slot + 1) - 1 do
+        let node = c.c_sup.(k) in
+        let t =
+          if node < c.c_nreplicas then c.s_finish.(node)
+          else c.s_delivered.(node - c.c_nreplicas)
+        in
+        if t < !ready then ready := t
+      done;
+      if !ready = infinity && !starved < 0 then starved := c.c_pred_task.(slot)
+      else data_ready := Float.max !data_ready !ready
+    done;
+    if crash_time.(p) = neg_infinity then () (* stays st_crashed *)
+    else if !starved >= 0 then begin
+      c.s_state.(rn) <- st_starved;
+      c.s_starved.(rn) <- !starved
+    end
+    else begin
+      let start =
+        if c.c_insertion then fit_gap p ~ready:!data_ready ~dur
+        else Float.max c.s_exec_free.(p) !data_ready
+      in
+      let finish = start +. dur in
+      if finish > crash_time.(p) then begin
+        c.s_exec_free.(p) <- infinity;
+        if c.c_insertion then occupy p crash_time.(p) infinity
+        (* stays st_crashed *)
+      end
+      else begin
+        c.s_exec_free.(p) <- Float.max c.s_exec_free.(p) finish;
+        if c.c_insertion then occupy p start finish;
+        c.s_finish.(rn) <- finish;
+        c.s_start.(rn) <- start;
+        c.s_state.(rn) <- st_ran
+      end
+    end
+  in
+
+  let process_message mi =
+    let src = c.c_msg_src.(mi) and dst = c.c_msg_dst.(mi) in
+    let w = c.c_msg_dur.(mi) in
+    let src_finish = c.s_finish.(c.c_msg_src_rn.(mi)) in
+    if src_finish = infinity then c.s_delivered.(mi) <- infinity
+    else if c.s_dead_dirty && c.s_msg_dead.(mi) then begin
+      (if c.c_contended then begin
+         let slot = argmin_slot c.s_send_free.(src) in
+         let leg_start =
+           Float.max
+             c.s_send_free.(src).(slot)
+             (Float.max src_finish (link_free mi))
+         in
+         let leg_finish = leg_start +. w in
+         c.s_send_free.(src).(slot) <- leg_finish;
+         occupy_link mi leg_finish
+       end);
+      c.s_delivered.(mi) <- infinity
+    end
+    else begin
+      let leg_start =
+        if not c.c_contended then src_finish
+        else
+          Float.max
+            (min_slot c.s_send_free.(src))
+            (Float.max src_finish (link_free mi))
+      in
+      let leg_finish = leg_start +. w in
+      if leg_finish > crash_time.(src) then begin
+        Array.fill c.s_send_free.(src) 0 c.c_port_slots infinity;
+        c.s_delivered.(mi) <- infinity
+      end
+      else begin
+        (if c.c_contended then begin
+           c.s_send_free.(src).(argmin_slot c.s_send_free.(src)) <- leg_finish;
+           occupy_link mi leg_finish
+         end);
+        if crash_time.(dst) = neg_infinity then c.s_delivered.(mi) <- infinity
+        else begin
+          let slot = argmin_slot c.s_recv_free.(dst) in
+          let arrival =
+            if not c.c_contended then leg_finish
+            else w +. Float.max c.s_recv_free.(dst).(slot) leg_start
+          in
+          if arrival > crash_time.(dst) then c.s_delivered.(mi) <- infinity
+          else begin
+            if c.c_contended then c.s_recv_free.(dst).(slot) <- arrival;
+            c.s_delivered.(mi) <- arrival
+          end
+        end
+      end
+    end
+  in
+
+  (* -- Kahn traversal over the prebuilt graph ------------------------ *)
+  let nnodes = c.c_nreplicas + c.c_nmsgs in
+  let queue = c.s_queue in
+  Heap.clear queue;
+  for n = 0 to nnodes - 1 do
+    c.s_indeg.(n) <- c.c_indeg0.(n);
+    if c.c_indeg0.(n) = 0 then Heap.add queue n
+  done;
+  while not (Heap.is_empty queue) do
+    let n = Heap.pop_exn queue in
+    if n < c.c_nreplicas then process_replica n
+    else process_message (n - c.c_nreplicas);
+    for k = c.c_adj_off.(n) to c.c_adj_off.(n + 1) - 1 do
+      let n' = c.c_adj.(k) in
+      c.s_indeg.(n') <- c.s_indeg.(n') - 1;
+      if c.s_indeg.(n') = 0 then Heap.add queue n'
+    done
+  done
+
+let eval_latency ?(dead_links = []) c ~crash_time =
+  eval_core c ~crash_time ~dead_links;
+  let latency = ref 0. in
+  let failed = ref false in
+  let rn = ref 0 in
+  for _task = 0 to c.c_v - 1 do
+    let earliest = ref infinity in
+    for _idx = 0 to c.c_eps1 - 1 do
+      let f = c.s_finish.(!rn) in
+      if f < !earliest then earliest := f;
+      incr rn
+    done;
+    if !earliest = infinity then failed := true
+    else latency := Float.max !latency !earliest
+  done;
+  if !failed then nan else !latency
+
+let eval ?(dead_links = []) c ~crash_time =
+  Obs_trace.with_span ~cat:"sim" "replay.eval" @@ fun () ->
+  eval_core c ~crash_time ~dead_links;
+  let replica_result =
+    Array.init c.c_v (fun task ->
+        Array.init c.c_eps1 (fun idx ->
+            let rn = (task * c.c_eps1) + idx in
+            if c.s_state.(rn) = st_ran then
+              Ran { start = c.s_start.(rn); finish = c.s_finish.(rn) }
+            else if c.s_state.(rn) = st_starved then Starved c.s_starved.(rn)
+            else Crashed))
+  in
+  let failed = ref [] in
+  let latency = ref 0. in
+  for task = 0 to c.c_v - 1 do
+    let earliest = ref infinity in
+    Array.iter
+      (function
+        | Ran { finish; _ } -> earliest := Float.min !earliest finish
+        | Crashed | Starved _ -> ())
+      replica_result.(task);
+    if !earliest = infinity then failed := task :: !failed
+    else latency := Float.max !latency !earliest
+  done;
+  let failed_tasks = List.rev !failed in
+  {
+    completed = failed_tasks = [];
+    latency = (if failed_tasks = [] then !latency else nan);
+    failed_tasks;
+    replicas = replica_result;
+  }
+
+(* -- crash-time helpers and thin wrappers ------------------------------ *)
+
+let crash_times_from_start m crashed =
+  Array.init m (fun p ->
+      if List.mem p crashed then neg_infinity else infinity)
+
+let crash_times_timed m crashes =
+  Array.init m (fun p ->
+      List.fold_left
+        (fun acc (q, tau) -> if q = p then Float.min acc tau else acc)
+        infinity crashes)
+
+let eval_crashed ?(dead_links = []) c ~crashed =
+  eval ~dead_links c ~crash_time:(crash_times_from_start c.c_m crashed)
+
+let eval_timed ?(dead_links = []) c ~crashes =
+  eval ~dead_links c ~crash_time:(crash_times_timed c.c_m crashes)
 
 let crash_from_start ?fabric ?(dead_links = []) sched ~crashed =
-  let crash_time =
-    crash_times sched (fun p ->
-        if List.mem p crashed then neg_infinity else infinity)
-  in
-  run sched ~fabric ~crash_time ~dead_links
+  eval_crashed ~dead_links (compile ?fabric sched) ~crashed
 
 let crash_timed ?fabric ?(dead_links = []) sched ~crashes =
-  let crash_time =
-    crash_times sched (fun p ->
-        List.fold_left
-          (fun acc (q, tau) -> if q = p then Float.min acc tau else acc)
-          infinity crashes)
-  in
-  run sched ~fabric ~crash_time ~dead_links
+  eval_timed ~dead_links (compile ?fabric sched) ~crashes
 
 let fault_free ?fabric sched =
-  let crash_time = crash_times sched (fun _ -> infinity) in
-  run sched ~fabric ~crash_time ~dead_links:[]
+  let c = compile ?fabric sched in
+  eval c ~crash_time:(Array.make c.c_m infinity)
 
 let crash_links ?fabric sched ~links =
-  let crash_time = crash_times sched (fun _ -> infinity) in
-  run sched ~fabric ~crash_time ~dead_links:links
+  let c = compile ?fabric sched in
+  eval ~dead_links:links c ~crash_time:(Array.make c.c_m infinity)

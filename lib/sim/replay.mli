@@ -50,6 +50,30 @@ type replica_outcome =
   | Starved of Dag.task
       (** never ran: no surviving supply for this predecessor *)
 
+(** {1 Compile-once evaluation}
+
+    The static event graph (node numbering, dependency and resource-order
+    edges, physical routes, supply index) does not depend on the crash
+    scenario, only on the schedule and fabric.  {!compile} builds it
+    exactly once, together with a preallocated scratch arena; {!eval}
+    then replays any number of scenarios with zero per-scenario graph
+    construction and near-zero allocation.  A [compiled] value owns its
+    scratch arena and is therefore {b not} safe to share across domains —
+    compile one per domain (cheap relative to thousands of evals). *)
+
+type compiled
+(** A crash-independent replay simulator for one schedule + fabric. *)
+
+val compile : ?fabric:Netstate.fabric -> Schedule.t -> compiled
+(** Build the reusable simulator.  [fabric] defaults to the clique over
+    the schedule's processors, as in {!crash_from_start}.  Raises
+    [Failure] if the schedule's static order is cyclic (the check runs
+    here once, not per {!eval}). *)
+
+val proc_count : compiled -> int
+(** Processor count [m] of the compiled schedule — the required length of
+    the [crash_time] array passed to {!eval}. *)
+
 type outcome = {
   completed : bool;
       (** at least one replica of every task produced its result *)
@@ -61,6 +85,57 @@ type outcome = {
   replicas : replica_outcome array array;
       (** dynamic outcome per task, per replica index *)
 }
+
+val eval :
+  ?dead_links:(Platform.proc * Platform.proc) list ->
+  compiled ->
+  crash_time:float array ->
+  outcome
+(** Replay one scenario.  [crash_time.(p)] is the instant processor [p]
+    dies: [neg_infinity] for dead-from-start, [infinity] for never.  The
+    array is only read.  Outcomes are identical to rebuilding the graph
+    per scenario (pinned by the differential test suite). *)
+
+val eval_latency :
+  ?dead_links:(Platform.proc * Platform.proc) list ->
+  compiled ->
+  crash_time:float array ->
+  float
+(** Like {!eval} but returns only the latency ([nan] if any task failed),
+    without materializing the per-replica outcome arrays — the
+    allocation-free inner loop of Monte-Carlo and fault-check campaigns. *)
+
+val eval_crashed :
+  ?dead_links:(Platform.proc * Platform.proc) list ->
+  compiled ->
+  crashed:Platform.proc list ->
+  outcome
+(** {!eval} with the given processors dead from time zero. *)
+
+val eval_timed :
+  ?dead_links:(Platform.proc * Platform.proc) list ->
+  compiled ->
+  crashes:(Platform.proc * float) list ->
+  outcome
+(** {!eval} where processor [p] dies at time [tau] (earliest wins if a
+    processor is listed twice). *)
+
+val reference :
+  ?fabric:Netstate.fabric ->
+  ?dead_links:(Platform.proc * Platform.proc) list ->
+  Schedule.t ->
+  crash_time:float array ->
+  outcome
+(** The original rebuild-the-graph-per-scenario implementation, kept as
+    the differential oracle for {!eval} and as the baseline of
+    [bench/main.exe --replay].  Semantically identical to
+    [eval (compile ?fabric sched) ~crash_time]. *)
+
+(** {1 One-shot wrappers}
+
+    Thin compile-then-eval conveniences; every pre-existing caller goes
+    through these, so their outcomes (and the golden schedule
+    fingerprints derived from them) are unchanged. *)
 
 val crash_from_start :
   ?fabric:Netstate.fabric ->

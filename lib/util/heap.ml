@@ -4,6 +4,7 @@ let create ~cmp = { cmp; data = [||]; size = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
+let clear t = t.size <- 0
 
 let grow t x =
   let cap = Array.length t.data in

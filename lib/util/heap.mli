@@ -17,6 +17,9 @@ val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
+val clear : 'a t -> unit
+(** Empty the heap in O(1), keeping its backing storage for reuse. *)
+
 val add : 'a t -> 'a -> unit
 
 val peek : 'a t -> 'a option

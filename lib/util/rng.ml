@@ -79,9 +79,13 @@ let pick t a =
   a.(int t (Array.length a))
 
 let pick_list t l =
+  (* One traversal (Array.of_list) instead of List.length + List.nth;
+     still exactly one [int] draw, so seeded sequences are unchanged. *)
   match l with
   | [] -> invalid_arg "Rng.pick_list: empty list"
-  | _ -> List.nth l (int t (List.length l))
+  | _ ->
+      let a = Array.of_list l in
+      a.(int t (Array.length a))
 
 let shuffle_in_place t a =
   for i = Array.length a - 1 downto 1 do

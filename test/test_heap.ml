@@ -55,6 +55,18 @@ let test_interleaved_ops () =
   Helpers.check_bool "pop 5" true (Heap.pop h = Some 5);
   Helpers.check_bool "pop none" true (Heap.pop h = None)
 
+let test_clear_reuse () =
+  let h = Heap.of_list ~cmp:compare [ 4; 2; 6 ] in
+  Heap.clear h;
+  Helpers.check_bool "cleared empty" true (Heap.is_empty h);
+  Helpers.check_int "cleared length" 0 (Heap.length h);
+  Helpers.check_bool "cleared pop" true (Heap.pop h = None);
+  (* refilling after clear behaves like a fresh heap *)
+  List.iter (Heap.add h) [ 9; 1; 5 ];
+  Helpers.check_bool "reuse pop 1" true (Heap.pop h = Some 1);
+  Helpers.check_bool "reuse pop 5" true (Heap.pop h = Some 5);
+  Helpers.check_bool "reuse pop 9" true (Heap.pop h = Some 9)
+
 let test_iter_unordered () =
   let h = Heap.of_list ~cmp:compare [ 4; 2; 6 ] in
   let sum = ref 0 in
@@ -69,5 +81,6 @@ let suite =
     Alcotest.test_case "max-heap comparator" `Quick test_max_heap_via_cmp;
     Alcotest.test_case "random vs sort" `Quick test_random_against_sort;
     Alcotest.test_case "interleaved add/pop" `Quick test_interleaved_ops;
+    Alcotest.test_case "clear and reuse" `Quick test_clear_reuse;
     Alcotest.test_case "iter_unordered" `Quick test_iter_unordered;
   ]

@@ -1,0 +1,220 @@
+(* Differential and determinism tests for the compile-once replay engine:
+
+   - on >= 100 (seed, model, fabric, insertion) configurations, compile
+     the schedule once and assert that [Replay.eval] produces outcomes
+     identical (bit-for-bit, including [nan] latencies) to the
+     rebuild-per-scenario [Replay.reference] oracle, across fault-free,
+     from-start, timed and dead-link scenarios;
+   - [Monte_carlo.run] and [Fault_check.check] reports are byte-identical
+     for domains in {1, 2, 4} (pre-drawn scenarios / lowest-rank
+     counterexample);
+   - [Fault_check.subset_at_rank] agrees with the [combinations]
+     enumeration at every rank. *)
+
+let float_eq a b =
+  (* bitwise, so nan = nan and 0. <> -0. — "same result" means the same
+     word, not merely numerically close *)
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let outcome_equal (a : Replay.outcome) (b : Replay.outcome) =
+  a.Replay.completed = b.Replay.completed
+  && float_eq a.Replay.latency b.Replay.latency
+  && a.Replay.failed_tasks = b.Replay.failed_tasks
+  && Array.length a.Replay.replicas = Array.length b.Replay.replicas
+  && Array.for_all2
+       (fun ra rb ->
+         Array.for_all2
+           (fun oa ob ->
+             match (oa, ob) with
+             | Replay.Ran { start = sa; finish = fa },
+               Replay.Ran { start = sb; finish = fb } ->
+                 float_eq sa sb && float_eq fa fb
+             | Replay.Crashed, Replay.Crashed -> true
+             | Replay.Starved ta, Replay.Starved tb -> ta = tb
+             | _ -> false)
+           ra rb)
+       a.Replay.replicas b.Replay.replicas
+
+let check_differential name sched fabric ~crash_time ~dead_links compiled =
+  let fresh = Replay.reference ?fabric ~dead_links sched ~crash_time in
+  let cached = Replay.eval ~dead_links compiled ~crash_time in
+  if not (outcome_equal fresh cached) then
+    Alcotest.failf "%s: compiled eval differs from fresh replay" name;
+  (* eval_latency is the campaign hot path — same verdict, no arrays *)
+  let lat = Replay.eval_latency ~dead_links compiled ~crash_time in
+  if not (float_eq lat fresh.Replay.latency) then
+    Alcotest.failf "%s: eval_latency %.6f <> outcome latency %.6f" name lat
+      fresh.Replay.latency
+
+(* One configuration: build a schedule, compile once, then diff several
+   scenario shapes against the rebuild-per-scenario oracle. *)
+let run_config seed =
+  let rng = Rng.create (7000 + seed) in
+  let model =
+    match seed mod 3 with
+    | 0 -> Netstate.Macro_dataflow
+    | 1 -> Netstate.One_port
+    | _ -> Netstate.Multiport 2
+  in
+  let insertion = seed mod 2 = 1 in
+  let platform, fabric =
+    match seed mod 4 with
+    | 0 | 1 -> (Helpers.uniform_platform (4 + (seed mod 4)), None)
+    | 2 ->
+        let topo = Topology.ring (4 + (seed mod 3)) in
+        (Topology.platform topo, Some (Topology.fabric topo))
+    | _ ->
+        let topo = Topology.star (4 + (seed mod 3)) in
+        (Topology.platform topo, Some (Topology.fabric topo))
+  in
+  let m = Platform.proc_count platform in
+  let dag =
+    Random_dag.generate rng
+      { Random_dag.default with Random_dag.tasks_min = 16; tasks_max = 16 }
+  in
+  let costs =
+    Costs.create dag platform (fun t p ->
+        30. +. (7. *. float_of_int ((t + p) mod 5)))
+  in
+  let epsilon = 1 + (seed mod 2) in
+  let sched =
+    Caft.run ~model ?fabric ~insertion ~seed ~epsilon costs
+  in
+  let compiled = Replay.compile ?fabric sched in
+  let name = Printf.sprintf "config %d" seed in
+  (* fault-free *)
+  let no_crash = Array.make m infinity in
+  check_differential name sched fabric ~crash_time:no_crash ~dead_links:[]
+    compiled;
+  (* from-start crash sets of size 1, 2 and epsilon+1 (the last one can
+     starve tasks: the nan/failed path must agree too) *)
+  List.iter
+    (fun k ->
+      let crashed = Rng.sample_without_replacement rng (min k m) m in
+      let crash_time =
+        Array.init m (fun p ->
+            if List.mem p crashed then neg_infinity else infinity)
+      in
+      check_differential name sched fabric ~crash_time ~dead_links:[] compiled)
+    [ 1; 2; epsilon + 1 ];
+  (* timed crashes inside the horizon *)
+  let horizon = Schedule.makespan sched in
+  let crash_time =
+    Array.init m (fun _ ->
+        if Rng.bool rng then Rng.float rng horizon else infinity)
+  in
+  check_differential name sched fabric ~crash_time ~dead_links:[] compiled;
+  (* dead links, then a scenario without them again: the scratch arena
+     must fully clear the dead-link marks between evals *)
+  let dead_links =
+    [ (Rng.int rng m, Rng.int rng m); (Rng.int rng m, Rng.int rng m) ]
+  in
+  check_differential name sched fabric ~crash_time:no_crash ~dead_links
+    compiled;
+  check_differential name sched fabric ~crash_time:no_crash ~dead_links:[]
+    compiled
+
+let test_differential () =
+  (* 108 configurations x 7 scenarios each, spanning all three models,
+     clique/ring/star fabrics and both processor policies *)
+  for seed = 0 to 107 do
+    run_config seed
+  done
+
+(* -- domain-count independence ---------------------------------------- *)
+
+let bytes_of x = Marshal.to_string x []
+
+let test_montecarlo_domains () =
+  let _, costs = Helpers.random_instance ~seed:11 ~m:6 ~tasks:20 () in
+  let sched = Caft.run ~epsilon:1 costs in
+  List.iter
+    (fun mode ->
+      let reports =
+        List.map
+          (fun domains ->
+            bytes_of
+              (Monte_carlo.run ~seed:5 ~runs:120 ~domains ~crashes:2 ~mode
+                 sched))
+          [ 1; 2; 4 ]
+      in
+      match reports with
+      | [ r1; r2; r4 ] ->
+          Helpers.check_bool "montecarlo domains=2 byte-identical" true
+            (r1 = r2);
+          Helpers.check_bool "montecarlo domains=4 byte-identical" true
+            (r1 = r4)
+      | _ -> assert false)
+    [ Monte_carlo.From_start; Monte_carlo.Timed (Schedule.makespan sched) ]
+
+let test_fault_check_domains () =
+  let _, costs = Helpers.random_instance ~seed:4 ~m:7 ~tasks:20 () in
+  let sched = Caft.run ~epsilon:1 costs in
+  let run_eps epsilon =
+    let reports =
+      List.map
+        (fun domains -> bytes_of (Fault_check.check ~domains ~epsilon sched))
+        [ 1; 2; 4 ]
+    in
+    match reports with
+    | [ r1; r2; r4 ] ->
+        Helpers.check_bool "check domains=2 byte-identical" true (r1 = r2);
+        Helpers.check_bool "check domains=4 byte-identical" true (r1 = r4)
+    | _ -> assert false
+  in
+  (* resisting (full enumeration) and refuting (lowest-rank
+     counterexample wins over whatever later shards found) *)
+  run_eps 1;
+  run_eps 3
+
+let test_fault_check_matches_sequential_semantics () =
+  (* the sharded exhaustive check must agree with plain wrappers on a
+     known refutation: epsilon+1 crashes on an epsilon=1 schedule *)
+  let _, costs = Helpers.random_instance ~seed:9 ~m:6 ~tasks:18 () in
+  let sched = Caft.run ~epsilon:1 costs in
+  let r = Fault_check.check ~domains:4 ~epsilon:2 sched in
+  (match r.Fault_check.counterexample with
+  | None -> ()
+  | Some (crashed, failed) ->
+      let out = Replay.crash_from_start sched ~crashed in
+      Helpers.check_bool "counterexample actually fails" false
+        out.Replay.completed;
+      Helpers.check_bool "failed tasks match replay" true
+        (failed = out.Replay.failed_tasks));
+  (* scenarios_checked in a refuting run is the 1-based rank of the
+     counterexample — by construction at most the total *)
+  Helpers.check_bool "checked within total" true
+    (r.Fault_check.scenarios_checked <= Fault_check.count_combinations 6 2)
+
+let test_subset_at_rank () =
+  List.iter
+    (fun (n, k) ->
+      let all = List.of_seq (Fault_check.combinations n k) in
+      List.iteri
+        (fun rank expected ->
+          let got =
+            Array.to_list (Fault_check.subset_at_rank ~n ~k rank)
+          in
+          if got <> expected then
+            Alcotest.failf "subset_at_rank ~n:%d ~k:%d %d: [%s] <> [%s]" n k
+              rank
+              (String.concat ";" (List.map string_of_int got))
+              (String.concat ";" (List.map string_of_int expected)))
+        all;
+      Helpers.check_int "rank count" (List.length all)
+        (Fault_check.count_combinations n k))
+    [ (6, 2); (7, 3); (5, 1); (5, 5); (4, 0); (8, 4) ]
+
+let suite =
+  [
+    Alcotest.test_case "compiled eval ≡ fresh replay (108 configs)" `Quick
+      test_differential;
+    Alcotest.test_case "montecarlo domain-count independent" `Quick
+      test_montecarlo_domains;
+    Alcotest.test_case "fault-check domain-count independent" `Quick
+      test_fault_check_domains;
+    Alcotest.test_case "fault-check counterexample semantics" `Quick
+      test_fault_check_matches_sequential_semantics;
+    Alcotest.test_case "subset_at_rank ≡ combinations" `Quick
+      test_subset_at_rank;
+  ]

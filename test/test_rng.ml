@@ -106,6 +106,32 @@ let test_pick () =
   Alcotest.check_raises "pick empty" (Invalid_argument "Rng.pick: empty array")
     (fun () -> ignore (Rng.pick rng [||]))
 
+let test_pick_list_pinned () =
+  (* Pinned draw sequence: [pick_list] consumes exactly one [Rng.int]
+     per call, so these values must never shift — experiment seeds
+     elsewhere in the tree depend on the stream staying put. *)
+  let rng = Rng.create 42 in
+  let l = [ 3; 1; 4; 1; 5; 9; 2; 6; 5; 3; 5 ] in
+  let expected = [ 9; 5; 1; 1; 5; 5; 1; 5; 9; 3; 3; 3 ] in
+  List.iter
+    (fun e -> Helpers.check_int "pick_list int sequence" e (Rng.pick_list rng l))
+    expected;
+  let l2 = [ "a"; "b"; "c" ] in
+  let expected2 = [ "c"; "c"; "a"; "c"; "c"; "a"; "a"; "c" ] in
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "pick_list string sequence" e (Rng.pick_list rng l2))
+    expected2;
+  (* and it still draws even for singleton lists (one int consumed) *)
+  let a = Rng.copy rng and b = Rng.copy rng in
+  ignore (Rng.pick_list a [ 0 ]);
+  ignore (Rng.int b 1);
+  Helpers.check_bool "singleton consumes one draw" true
+    (Rng.bits64 a = Rng.bits64 b);
+  Alcotest.check_raises "pick_list empty"
+    (Invalid_argument "Rng.pick_list: empty list") (fun () ->
+      ignore (Rng.pick_list rng []))
+
 let test_shuffle_permutation () =
   let rng = Rng.create 17 in
   let l = List.init 20 Fun.id in
@@ -175,6 +201,7 @@ let suite =
     Alcotest.test_case "float mean" `Quick test_float_mean;
     Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
     Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "pick_list pinned sequence" `Quick test_pick_list_pinned;
     Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
     Alcotest.test_case "sample without replacement" `Quick
       test_sample_without_replacement;
