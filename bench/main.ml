@@ -21,6 +21,10 @@ let replay_estimates : (string * float) list ref = ref []
 
 (* (domains, runs, wall seconds, scenarios per second) *)
 let replay_domain_rows : (int * int * float * float) list ref = ref []
+let inject_estimates : (string * float) list ref = ref []
+
+(* (m, budget, evals, wall seconds) of one adversary search *)
+let adversary_row : (int * int * int * float) option ref = ref None
 
 let run_figures figures graphs seed domains =
   List.iter
@@ -876,6 +880,97 @@ let replay_bench ?(quick = false) () =
      a single-core host the\n extra domains are pure spawn/GC overhead)";
   print_newline ()
 
+(* -- fault-plan microbench: degenerate crash path vs window engine ------ *)
+
+(* [Replay.eval_plan] routes crash-only plans through the same code path
+   as [eval]; any other event switches to the generalized down-window
+   engine.  This bench prices that switch (same crashes, plus one no-op
+   [Recover] to force the window engine), and times one budget-bounded
+   adversary search on top. *)
+let inject_case m =
+  let rng = Rng.create (3000 + m) in
+  let dag = Random_dag.generate_default rng in
+  let params = Platform_gen.default ~m () in
+  let costs = Platform_gen.instance rng ~granularity:1.0 params dag in
+  let sched = Caft.run ~epsilon:2 costs in
+  let compiled = Replay.compile sched in
+  let crash_plan =
+    [
+      Replay.Crash { proc = 0; at = neg_infinity };
+      Replay.Crash { proc = 1; at = neg_infinity };
+    ]
+  in
+  let window_plan = Replay.Recover { proc = 2; at = 0. } :: crash_plan in
+  ( sched,
+    (fun () -> Replay.eval_plan_degraded compiled crash_plan),
+    fun () -> Replay.eval_plan_degraded compiled window_plan )
+
+let inject_ms = [ 10; 25; 50 ]
+
+let inject_bench ?(quick = false) () =
+  let open Bechamel in
+  print_endline
+    "=== Fault-plan microbench: degenerate crash path vs window engine ===";
+  let test name f = Test.make ~name (Staged.stage f) in
+  let scheds = List.map (fun m -> (m, inject_case m)) inject_ms in
+  let tests =
+    Test.make_grouped ~name:"inject"
+      (List.concat_map
+         (fun (m, (_, degenerate, windows)) ->
+           [
+             test (Printf.sprintf "degenerate/m=%03d" m) degenerate;
+             test (Printf.sprintf "windows/m=%03d" m) windows;
+           ])
+         scheds)
+  in
+  let limit, quota =
+    if quick then (300, Time.second 0.05) else (2000, Time.second 0.5)
+  in
+  let rows = run_bechamel ~limit ~quota tests in
+  inject_estimates := rows;
+  let find kind m =
+    match List.assoc_opt (Printf.sprintf "inject/%s/m=%03d" kind m) rows with
+    | Some ns -> ns
+    | None -> nan
+  in
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [ "m"; "degenerate/plan"; "windows/plan"; "overhead" ]
+  in
+  List.iter
+    (fun m ->
+      let deg_ns = find "degenerate" m and win_ns = find "windows" m in
+      Text_table.add_row t
+        [
+          string_of_int m;
+          Printf.sprintf "%.2f us" (deg_ns /. 1e3);
+          Printf.sprintf "%.2f us" (win_ns /. 1e3);
+          Printf.sprintf "%.2fx" (win_ns /. deg_ns);
+        ])
+    inject_ms;
+  Text_table.print t;
+  print_endline
+    "(same two from-start crashes per plan; the windows row adds a no-op \
+     Recover event,\n forcing the generalized down-window engine instead of \
+     the crash-time fast path)";
+  print_newline ();
+  (* one adversary search on the smallest case *)
+  let sched, _, _ = List.assoc (List.hd inject_ms) scheds in
+  let budget = if quick then 500 else 20_000 in
+  let t0 = Obs_clock.now () in
+  let report = Inject.adversary ~budget sched in
+  let wall = Obs_clock.now () -. t0 in
+  adversary_row := Some (List.hd inject_ms, budget, report.Inject.iv_evals, wall);
+  print_endline
+    (Printf.sprintf
+       "adversary m=%d budget=%d: %d evals in %.3f s (%s worst slowdown)"
+       (List.hd inject_ms) budget report.Inject.iv_evals wall
+       (match report.Inject.iv_worst with
+       | Some w -> Printf.sprintf "%.2fx" w.Inject.w_slowdown
+       | None -> "no"));
+  print_newline ()
+
 (* -- machine-readable summary ------------------------------------------ *)
 
 let write_bench_json path ~seed ~graphs ~domains =
@@ -967,6 +1062,38 @@ let write_bench_json path ~seed ~graphs ~domains =
                      ("scenarios_per_sec", float_or_null per_sec);
                    ])
                !replay_domain_rows) );
+        ( "inject",
+          Json.List
+            (List.filter_map
+               (fun m ->
+                 let find kind =
+                   List.assoc_opt
+                     (Printf.sprintf "inject/%s/m=%03d" kind m)
+                     !inject_estimates
+                 in
+                 match (find "degenerate", find "windows") with
+                 | Some deg_ns, Some win_ns ->
+                     Some
+                       (Json.Obj
+                          [
+                            ("m", Json.Int m);
+                            ("degenerate_ns_per_plan", float_or_null deg_ns);
+                            ("windows_ns_per_plan", float_or_null win_ns);
+                            ("overhead", float_or_null (win_ns /. deg_ns));
+                          ])
+                 | _ -> None)
+               inject_ms) );
+        ( "adversary",
+          match !adversary_row with
+          | None -> Json.Null
+          | Some (m, budget, evals, wall) ->
+              Json.Obj
+                [
+                  ("m", Json.Int m);
+                  ("budget", Json.Int budget);
+                  ("evals", Json.Int evals);
+                  ("wall_seconds", Json.Float wall);
+                ] );
       ]
   in
   let oc = open_out path in
@@ -995,6 +1122,7 @@ let () =
   let bechamel = ref false in
   let placement = ref false in
   let replay = ref false in
+  let inject = ref false in
   let quick = ref false in
   let all = ref true in
   let json = ref "BENCH_schedulers.json" in
@@ -1039,6 +1167,13 @@ let () =
             replay := true),
         "  run the replay microbench only (rebuild-per-scenario vs compiled \
          eval, domain scaling)" );
+      ( "--inject",
+        Arg.Unit
+          (fun () ->
+            all := false;
+            inject := true),
+        "  run the fault-plan microbench only (degenerate crash path vs \
+         window engine, one adversary search)" );
       ( "--quick",
         Arg.Set quick,
         "  shrink the microbench quotas (CI smoke mode)" );
@@ -1065,7 +1200,8 @@ let () =
     models_table !graphs !seed;
     bechamel_benches ();
     placement_bench ~quick:!quick ();
-    replay_bench ~quick:!quick ()
+    replay_bench ~quick:!quick ();
+    inject_bench ~quick:!quick ()
   end
   else begin
     if !figures <> [] then run_figures !figures !graphs !seed !domains;
@@ -1085,7 +1221,8 @@ let () =
       !tables;
     if !bechamel then bechamel_benches ();
     if !placement then placement_bench ~quick:!quick ();
-    if !replay then replay_bench ~quick:!quick ()
+    if !replay then replay_bench ~quick:!quick ();
+    if !inject then inject_bench ~quick:!quick ()
   end;
   if !json <> "" then
     write_bench_json !json ~seed:!seed ~graphs:!graphs ~domains:!domains

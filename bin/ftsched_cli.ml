@@ -7,6 +7,7 @@
      analyze     static epsilon-resistance certificate, mapping bounds, lints
      inspect     utilization/communication metrics, bounds, save/load
      montecarlo  random fault-injection campaigns on one schedule
+     stress      adversarial fault injection and graceful degradation
      topology    inspect a sparse interconnect and its routing tables
      campaign    regenerate one of the paper's figures *)
 
@@ -98,11 +99,50 @@ let make_dag rng ~family ~tasks =
       Families.cholesky t
   | other -> failwith (Printf.sprintf "unknown graph family %S" other)
 
+(* -- input hardening ----------------------------------------------------
+   Malformed user-supplied files must not surface as raw OCaml exception
+   backtraces: every load funnels through these helpers, which print one
+   structured line (file, line, reason) on stderr and exit 2. *)
+
+let input_error path ?line reason =
+  let reason =
+    (* Sys_error messages already lead with the file name *)
+    let pre = path ^ ": " in
+    let n = String.length pre in
+    if String.length reason > n && String.sub reason 0 n = pre then
+      String.sub reason n (String.length reason - n)
+    else reason
+  in
+  (match line with
+  | Some l -> Printf.eprintf "ftsched: error: %s:%d: %s\n" path l reason
+  | None -> Printf.eprintf "ftsched: error: %s: %s\n" path reason);
+  exit 2
+
+let load_dag_file path =
+  try Dot.parse_file ~default_volume:100. path with
+  | Dot.Parse_error { line; message } -> input_error path ~line message
+  | Dag.Cycle tasks ->
+      input_error path
+        (Printf.sprintf "graph has a dependency cycle through tasks {%s}"
+           (String.concat "," (List.map string_of_int tasks)))
+  | Sys_error msg -> input_error path msg
+  | Invalid_argument msg | Failure msg -> input_error path msg
+
+let load_schedule_file path =
+  try Schedule_io.of_file path with
+  | Schedule_io.Parse_error { line; message } -> input_error path ~line message
+  | Dag.Cycle tasks ->
+      input_error path
+        (Printf.sprintf "schedule DAG has a cycle through tasks {%s}"
+           (String.concat "," (List.map string_of_int tasks)))
+  | Sys_error msg -> input_error path msg
+  | Invalid_argument msg | Failure msg -> input_error path msg
+
 let make_instance ?import ~seed ~family ~tasks ~m ~granularity () =
   let rng = Rng.create seed in
   let dag =
     match import with
-    | Some path -> Dot.parse_file ~default_volume:100. path
+    | Some path -> load_dag_file path
     | None -> make_dag rng ~family ~tasks
   in
   let params = Platform_gen.default ~m () in
@@ -348,7 +388,7 @@ let inspect_cmd =
   let run seed m tasks epsilon granularity algo model family import save load explain =
     let sched =
       match load with
-      | Some path -> Schedule_io.of_file path
+      | Some path -> load_schedule_file path
       | None ->
           let _, costs =
             make_instance ?import ~seed ~family ~tasks ~m ~granularity ()
@@ -430,7 +470,7 @@ let analyze_cmd =
       certificate cross_check domains =
     let sched =
       match load with
-      | Some path -> Schedule_io.of_file path
+      | Some path -> load_schedule_file path
       | None ->
           let _, costs =
             make_instance ?import ~seed ~family ~tasks ~m ~granularity ()
@@ -551,6 +591,148 @@ let montecarlo_cmd =
     (Cmd.info "montecarlo" ~doc:"Monte-Carlo fault injection on one schedule")
     term
 
+(* -- stress -------------------------------------------------------------- *)
+
+let stress_cmd =
+  let budget_t =
+    let doc =
+      "Adversary search budget (frontier evaluations): small (2k), medium \
+       (20k) or large (200k)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("small", 2_000); ("medium", 20_000); ("large", 200_000) ])
+          20_000
+      & info [ "budget" ] ~docv:"SIZE" ~doc)
+  in
+  let beyond_t =
+    let doc =
+      "Sweep the degradation curve up to K crashes beyond epsilon (0 \
+       disables the sweep)."
+    in
+    Arg.(value & opt int 2 & info [ "beyond-epsilon" ] ~docv:"K" ~doc)
+  in
+  let runs_t =
+    Arg.(
+      value & opt int 200
+      & info [ "runs" ] ~docv:"N"
+          ~doc:"Monte-Carlo scenarios per degradation-curve point.")
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the full report as JSON on stdout.")
+  in
+  let domains_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Parallelize the static certification and the degradation \
+             sweep over N domains (the report is identical for any N).")
+  in
+  let run seed m tasks epsilon granularity algo model family import budget
+      beyond runs json domains obs =
+    with_obs obs @@ fun () ->
+    let _, costs =
+      make_instance ?import ~seed ~family ~tasks ~m ~granularity ()
+    in
+    let sched = run_algo algo ~model ~seed ~epsilon costs in
+    (* the schedule's actual tolerance (0 for unreplicated baselines),
+       not the requested one: the invariant below is about what the
+       schedule guarantees *)
+    let epsilon = Schedule.epsilon sched in
+    let report = Inject.adversary ~seed:(seed + 23) ~budget ?domains sched in
+    let curve =
+      if beyond <= 0 then []
+      else
+        Monte_carlo.degradation_curve ~seed:(seed + 1) ~runs ?domains
+          ~max_crashes:(min m (epsilon + beyond))
+          ~mode:Monte_carlo.From_start sched
+    in
+    (* the dynamic half of Proposition 5.2: within tolerance, every
+       sampled scenario must complete *)
+    let within_eps_ok =
+      List.for_all
+        (fun (k, (r : Monte_carlo.report)) ->
+          k > epsilon || r.Monte_carlo.completed = r.Monte_carlo.runs)
+        curve
+    in
+    (if json then
+       let curve_json =
+         List.map
+           (fun (k, (r : Monte_carlo.report)) ->
+             let cm, cmin =
+               match r.Monte_carlo.degradation with
+               | Some d ->
+                   ( d.Monte_carlo.deg_completion_mean,
+                     d.Monte_carlo.deg_completion_min )
+               | None -> (1., 1.)
+             in
+             Json.Obj
+               [
+                 ("crashes", Json.Int k);
+                 ("runs", Json.Int r.Monte_carlo.runs);
+                 ("completed", Json.Int r.Monte_carlo.completed);
+                 ("completion_mean", Json.Float cm);
+                 ("completion_min", Json.Float cmin);
+                 ("worst_slowdown", Json.Float r.Monte_carlo.worst_slowdown);
+               ])
+           curve
+       in
+       print_endline
+         (Json.to_string
+            (Json.Obj
+               [
+                 ("stress", Inject.to_json report);
+                 ("degradation_curve", Json.List curve_json);
+                 ("within_epsilon_ok", Json.Bool within_eps_ok);
+               ]))
+     else begin
+       Format.printf "%s, %d tasks on %d processors@."
+         (Schedule.algorithm sched)
+         (Dag.task_count (Schedule.dag sched))
+         m;
+       Format.printf "@[<v>%a@]@." Inject.pp report;
+       if curve <> [] then begin
+         Format.printf "degradation curve (%d runs per point):@." runs;
+         Format.printf
+           "  crashes  completed  completion(mean/min)  worst-slowdown@.";
+         List.iter
+           (fun (k, (r : Monte_carlo.report)) ->
+             let cm, cmin =
+               match r.Monte_carlo.degradation with
+               | Some d ->
+                   ( d.Monte_carlo.deg_completion_mean,
+                     d.Monte_carlo.deg_completion_min )
+               | None -> (1., 1.)
+             in
+             Format.printf "  %7d  %4d/%-4d  %8.3f/%-8.3f  %s@." k
+               r.Monte_carlo.completed r.Monte_carlo.runs cm cmin
+               (if Float.is_nan r.Monte_carlo.worst_slowdown then "-"
+                else Printf.sprintf "%.2fx" r.Monte_carlo.worst_slowdown))
+           curve
+       end;
+       if not within_eps_ok then
+         Format.printf
+           "WARNING: a scenario within epsilon crashes failed to complete@."
+     end);
+    if within_eps_ok then 0 else 1
+  in
+  let term =
+    Term.(
+      const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
+      $ model_t $ family_t $ import_t $ budget_t $ beyond_t $ runs_t $ json_t
+      $ domains_t $ obs_t)
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Adversarial fault injection: worst-case crash plans and graceful \
+          degradation")
+    term
+
 (* -- topology ------------------------------------------------------------ *)
 
 let topology_cmd =
@@ -636,7 +818,18 @@ let campaign_cmd =
             "Also write a gnuplot script rendering the figure's three \
              panels from the CSV (requires --csv).")
   in
-  let run figure graphs csv gnuplot seed domains obs =
+  let checkpoint_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Record every completed granularity point in FILE (written \
+             atomically after each point); rerunning with the same figure \
+             and seed resumes from it, reproducing the uninterrupted \
+             report byte for byte.")
+  in
+  let run figure graphs csv gnuplot checkpoint seed domains obs =
     with_obs obs @@ fun () ->
     let config = Config.figure figure in
     let config =
@@ -644,7 +837,7 @@ let campaign_cmd =
       | Some g -> Config.with_graphs_per_point config g
       | None -> config
     in
-    let result = Campaign.run ~seed ?domains config in
+    let result = Campaign.run ~seed ?domains ?checkpoint config in
     print_string (Report.render result);
     Option.iter
       (fun path ->
@@ -667,8 +860,8 @@ let campaign_cmd =
   in
   let term =
     Term.(
-      const run $ figure_t $ graphs_t $ csv_t $ gnuplot_t $ seed_t $ domains_t
-      $ obs_t)
+      const run $ figure_t $ graphs_t $ csv_t $ gnuplot_t $ checkpoint_t
+      $ seed_t $ domains_t $ obs_t)
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Regenerate one of the paper's figures") term
 
@@ -680,5 +873,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [
          schedule_cmd; crash_cmd; check_cmd; analyze_cmd; inspect_cmd;
-         montecarlo_cmd; topology_cmd; campaign_cmd;
+         montecarlo_cmd; stress_cmd; topology_cmd; campaign_cmd;
        ]))

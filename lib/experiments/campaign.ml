@@ -119,7 +119,142 @@ let summarize rows select =
     latency0_stddev = Stats.stddev (List.map (fun r -> r.r_l0) raws);
   }
 
-let run ?(seed = 2008) ?(progress = Obs_log.progress) ?domains
+(* -- checkpointing ------------------------------------------------------ *)
+
+(* Floats are stored as ["%.17g"] strings, not JSON numbers: the printer
+   renders numbers with %.12g, which does not round-trip every double,
+   and resuming from a checkpoint must reproduce the uninterrupted report
+   byte for byte. *)
+let json_of_float x = Json.String (Printf.sprintf "%.17g" x)
+
+let float_of_json = function
+  | Json.String s -> float_of_string_opt s
+  | Json.Float f -> Some f
+  | Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let json_of_algo a =
+  Json.Obj
+    [
+      ("latency0", json_of_float a.latency0);
+      ("upper", json_of_float a.upper);
+      ("latency_crash", json_of_float a.latency_crash);
+      ("overhead0", json_of_float a.overhead0);
+      ("overhead_crash", json_of_float a.overhead_crash);
+      ("messages", json_of_float a.messages);
+      ("latency0_stddev", json_of_float a.latency0_stddev);
+    ]
+
+let algo_of_json j =
+  let f name = Option.bind (Json.member name j) float_of_json in
+  match
+    ( f "latency0",
+      f "upper",
+      f "latency_crash",
+      f "overhead0",
+      f "overhead_crash",
+      f "messages",
+      f "latency0_stddev" )
+  with
+  | Some l0, Some ub, Some lc, Some ov0, Some ovc, Some msgs, Some sd ->
+      Some
+        {
+          latency0 = l0;
+          upper = ub;
+          latency_crash = lc;
+          overhead0 = ov0;
+          overhead_crash = ovc;
+          messages = msgs;
+          latency0_stddev = sd;
+        }
+  | _ -> None
+
+let json_of_point p =
+  Json.Obj
+    [
+      ("granularity", json_of_float p.granularity);
+      ("caft", json_of_algo p.caft);
+      ("ftsa", json_of_algo p.ftsa);
+      ("ftbar", json_of_algo p.ftbar);
+      ("fault_free_caft", json_of_float p.fault_free_caft);
+      ("fault_free_ftbar", json_of_float p.fault_free_ftbar);
+      ("edges", json_of_float p.edges);
+    ]
+
+let point_of_json j =
+  let f name = Option.bind (Json.member name j) float_of_json in
+  let a name = Option.bind (Json.member name j) algo_of_json in
+  match
+    ( f "granularity",
+      a "caft",
+      a "ftsa",
+      a "ftbar",
+      f "fault_free_caft",
+      f "fault_free_ftbar",
+      f "edges" )
+  with
+  | Some g, Some caft, Some ftsa, Some ftbar, Some ffc, Some ffb, Some edges
+    ->
+      Some
+        {
+          granularity = g;
+          caft;
+          ftsa;
+          ftbar;
+          fault_free_caft = ffc;
+          fault_free_ftbar = ffb;
+          edges;
+        }
+  | _ -> None
+
+(* The completed-point map is keyed by the exact bits of the granularity. *)
+let gkey g = Printf.sprintf "%.17g" g
+
+let save_checkpoint path ~id ~seed pts =
+  let doc =
+    Json.Obj
+      [
+        ("campaign", Json.String id);
+        ("seed", Json.Int seed);
+        ("points", Json.List (List.map json_of_point (List.rev pts)));
+      ]
+  in
+  (* atomic: write the whole file to a temp sibling, then rename over the
+     destination — a kill mid-write never corrupts an existing checkpoint *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string ~indent:2 doc);
+      output_char oc '\n');
+  Sys.rename tmp path
+
+let load_checkpoint path ~id ~seed =
+  if not (Sys.file_exists path) then []
+  else
+    let contents =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse contents with
+    | Error _ -> [] (* unreadable / truncated: start over *)
+    | Ok doc ->
+        let same_id =
+          Option.bind (Json.member "campaign" doc) Json.to_str = Some id
+        in
+        let same_seed =
+          Option.bind (Json.member "seed" doc) Json.to_int = Some seed
+        in
+        if not (same_id && same_seed) then []
+        else
+          Json.member "points" doc
+          |> Option.fold ~none:[] ~some:Json.to_list
+          |> List.filter_map point_of_json
+
+let run ?(seed = 2008) ?(progress = Obs_log.progress) ?domains ?checkpoint
     (config : Config.t) =
   let rng = Rng.create seed in
   (* Draw the instances once; the granularity sweep only rescales costs. *)
@@ -171,4 +306,35 @@ let run ?(seed = 2008) ?(progress = Obs_log.progress) ?domains
          p.ftbar.latency0);
     p
   in
-  { config; points = List.map point config.Config.granularities }
+  let recorded =
+    match checkpoint with
+    | None -> []
+    | Some path ->
+        List.map
+          (fun p -> (gkey p.granularity, p))
+          (load_checkpoint path ~id:config.Config.id ~seed)
+  in
+  let done_points = ref [] in
+  let point_or_resume granularity =
+    let p =
+      match List.assoc_opt (gkey granularity) recorded with
+      | Some p ->
+          progress
+            (Printf.sprintf "%s: granularity %.2f restored from checkpoint"
+               config.Config.id granularity);
+          p
+      | None ->
+          let p = point granularity in
+          (* persist immediately: a kill at any later instant finds the
+             completed point on disk *)
+          (match checkpoint with
+          | Some path ->
+              save_checkpoint path ~id:config.Config.id ~seed
+                (p :: !done_points)
+          | None -> ());
+          p
+    in
+    done_points := p :: !done_points;
+    p
+  in
+  { config; points = List.map point_or_resume config.Config.granularities }

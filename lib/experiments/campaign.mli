@@ -48,12 +48,25 @@ type point = {
 type result = { config : Config.t; points : point list }
 
 val run :
-  ?seed:int -> ?progress:(string -> unit) -> ?domains:int -> Config.t -> result
+  ?seed:int ->
+  ?progress:(string -> unit) ->
+  ?domains:int ->
+  ?checkpoint:string ->
+  Config.t ->
+  result
 (** Runs the whole sweep.  [seed] (default 2008) makes the campaign
     reproducible; [progress] receives one message per completed
     granularity point.  [domains] (default: the machine's recommended
     domain count) parallelizes the per-point instances over OCaml 5
-    domains — results are bit-identical to the sequential run ([1]). *)
+    domains — results are bit-identical to the sequential run ([1]).
+
+    [checkpoint] names a JSON file recording every completed granularity
+    point: after each point the whole file is rewritten atomically
+    (write-to-temp-then-rename, so a kill never corrupts it), and a rerun
+    with the same figure id and [seed] skips the recorded points and
+    produces a result byte-identical to an uninterrupted run (floats are
+    stored as exact ["%.17g"] strings).  A checkpoint from a different
+    figure, seed, or an unreadable file is ignored. *)
 
 val normalization : Costs.t -> float
 (** The per-instance normalization constant (mean edge communication

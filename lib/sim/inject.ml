@@ -1,0 +1,339 @@
+type worst = {
+  w_crashes : (Platform.proc * float) list;
+  w_latency : float;
+  w_slowdown : float;
+  w_exhaustive : bool;
+}
+
+type kill = {
+  k_procs : Platform.proc list;
+  k_degradation : Replay.degradation;
+  k_certified : bool;
+}
+
+type report = {
+  iv_epsilon : int;
+  iv_m : int;
+  iv_budget : int;
+  iv_evals : int;
+  iv_fault_free : float;
+  iv_cert_resists : bool option;
+  iv_worst : worst option;
+  iv_min_kill : kill option;
+}
+
+let m_frontier =
+  Obs_metrics.counter ~help:"adversary frontier evaluations (Inject)"
+    "stress.frontier_evals"
+
+(* Descending latency, then the lexicographically smallest subset: a
+   total deterministic order on search candidates. *)
+let cand_cmp (l1, s1) (l2, s2) = compare (-.l1, s1) (-.l2, s2)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let adversary ?(seed = 11) ?(budget = 20_000) ?(beam = 8) ?(domains = 1) sched
+    =
+  Obs_trace.with_span ~cat:"sim" "inject.adversary" @@ fun () ->
+  let c = Replay.compile sched in
+  let m = Replay.proc_count c in
+  let eps = Schedule.epsilon sched in
+  let budget = max 8 budget in
+  let beam = max 1 beam in
+  let evals = ref 0 in
+  let crash_time = Array.make m infinity in
+  let set_times crashes =
+    incr evals;
+    Obs_metrics.incr m_frontier;
+    Array.fill crash_time 0 m infinity;
+    List.iter
+      (fun (p, tau) -> crash_time.(p) <- Float.min crash_time.(p) tau)
+      crashes
+  in
+  let eval_timed crashes =
+    set_times crashes;
+    Replay.eval_latency c ~crash_time
+  in
+  let eval_subset procs =
+    eval_timed (List.map (fun p -> (p, neg_infinity)) procs)
+  in
+  let degrade_subset procs =
+    set_times (List.map (fun p -> (p, neg_infinity)) procs);
+    Replay.eval_degraded c ~crash_time
+  in
+  let l0 = eval_timed [] in
+
+  (* -- worst-case slowdown within epsilon crashes -------------------- *)
+  (* Phase 1: from-start subsets of size exactly epsilon (completion is
+     monotone in the crash set, and certified schedules complete them
+     all, so size epsilon dominates smaller sets for coverage). *)
+  let subset_budget = budget / 2 in
+  let nsub = Fault_check.count_combinations m (min eps m) in
+  let exhaustive = eps = 0 || nsub <= subset_budget - !evals in
+  let best = ref (l0, []) in
+  let consider procs =
+    let l = eval_subset procs in
+    (if not (Float.is_nan l) then
+       let cand = (l, procs) in
+       if cand_cmp cand !best < 0 then best := cand);
+    l
+  in
+  (if eps > 0 then
+     if exhaustive then
+       Seq.iter
+         (fun procs -> ignore (consider procs))
+         (Fault_check.combinations m (min eps m))
+     else begin
+       (* greedy criticality seeding: rank singletons by damage, then
+          grow the best [beam] of them one processor at a time *)
+       let singles =
+         List.init m (fun p -> (consider [ p ], [ p ]))
+         |> List.filter (fun (l, _) -> not (Float.is_nan l))
+         |> List.sort cand_cmp
+       in
+       let frontier = ref (List.map snd (take beam singles)) in
+       for _size = 2 to min eps m do
+         let grown = ref [] in
+         List.iter
+           (fun set ->
+             for p = m - 1 downto 0 do
+               if (not (List.mem p set)) && !evals < subset_budget then begin
+                 let set' = List.sort compare (p :: set) in
+                 if not (List.exists (fun (_, s) -> s = set') !grown) then begin
+                   let l = consider set' in
+                   if not (Float.is_nan l) then grown := (l, set') :: !grown
+                 end
+               end
+             done)
+           !frontier;
+         frontier := List.map snd (take beam (List.sort cand_cmp !grown))
+       done;
+       (* top up with seeded random subsets while the budget allows *)
+       let rng = Rng.create seed in
+       while !evals < subset_budget do
+         ignore
+           (consider
+              (List.sort compare (Scenario.uniform_procs rng ~m ~count:eps)))
+       done
+     end);
+  (* Phase 2: crash-instant refinement by coordinate descent.  Candidate
+     instants per processor are the static execution midpoints of its
+     replicas: each one kills that replica (and everything after) at the
+     last possible moment, wasting the most completed work. *)
+  let refine (l_start, procs) =
+    let current =
+      ref (l_start, List.map (fun p -> (p, neg_infinity)) procs)
+    in
+    let instants p =
+      neg_infinity
+      :: List.map
+           (fun (r : Schedule.replica) ->
+             (r.Schedule.r_start +. r.Schedule.r_finish) /. 2.)
+           (Schedule.on_proc sched p)
+    in
+    let improved = ref true in
+    let pass = ref 0 in
+    while !improved && !pass < 3 && !evals < budget do
+      improved := false;
+      incr pass;
+      List.iter
+        (fun p ->
+          List.iter
+            (fun tau ->
+              if !evals < budget then begin
+                let _, assign = !current in
+                let assign' =
+                  List.map (fun (q, t) -> if q = p then (q, tau) else (q, t))
+                    assign
+                in
+                let l = eval_timed assign' in
+                if (not (Float.is_nan l)) && l > fst !current then begin
+                  current := (l, assign');
+                  improved := true
+                end
+              end)
+            (instants p))
+        procs
+    done;
+    !current
+  in
+  let w_latency, w_crashes = refine !best in
+  let iv_worst =
+    if Float.is_nan w_latency then None
+    else
+      Some
+        {
+          w_crashes = List.sort compare w_crashes;
+          w_latency;
+          w_slowdown = (if l0 > 0. then w_latency /. l0 else nan);
+          w_exhaustive = exhaustive;
+        }
+  in
+
+  (* -- minimal kill set ---------------------------------------------- *)
+  let cert =
+    match Resilience.certify ~epsilon:eps ~domains sched with
+    | r -> Some r
+    | exception Resilience.Family_overflow _ -> None
+  in
+  let iv_cert_resists =
+    Option.map (fun r -> r.Resilience.rs_resists) cert
+  in
+  let iv_min_kill =
+    match cert with
+    | Some { Resilience.rs_counterexample = Some (procs, _); _ } ->
+        (* the certificate's own minimal refutation, size <= epsilon *)
+        Some
+          {
+            k_procs = procs;
+            k_degradation = degrade_subset procs;
+            k_certified = true;
+          }
+    | _ ->
+        (* epsilon-resistance certified (or certification abandoned): the
+           cheapest kill sets are the replica-processor sets of single
+           tasks, size epsilon + 1 — provably minimal when certified.
+           Pick the one degrading completion the most. *)
+        let v = Dag.task_count (Schedule.dag sched) in
+        let seen = Hashtbl.create 64 in
+        let best = ref None in
+        (try
+           for t = 0 to v - 1 do
+             if !evals >= budget then raise Exit;
+             let procs =
+               List.sort_uniq compare
+                 (List.init (eps + 1) (fun i ->
+                      (Schedule.replica sched t i).Schedule.r_proc))
+             in
+             if not (Hashtbl.mem seen procs) then begin
+               Hashtbl.add seen procs ();
+               let d = degrade_subset procs in
+               let key =
+                 (Replay.completion_fraction d, List.length procs, procs)
+               in
+               match !best with
+               | Some (bkey, _, _) when bkey <= key -> ()
+               | _ -> best := Some (key, procs, d)
+             end
+           done
+         with Exit -> ());
+        Option.map
+          (fun (_, procs, d) ->
+            {
+              k_procs = procs;
+              k_degradation = d;
+              k_certified = (iv_cert_resists = Some true);
+            })
+          !best
+  in
+  {
+    iv_epsilon = eps;
+    iv_m = m;
+    iv_budget = budget;
+    iv_evals = !evals;
+    iv_fault_free = l0;
+    iv_cert_resists;
+    iv_worst;
+    iv_min_kill;
+  }
+
+(* -- reporting --------------------------------------------------------- *)
+
+let pp_instant ppf tau =
+  if tau = neg_infinity then Format.fprintf ppf "start"
+  else Format.fprintf ppf "t=%.3f" tau
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>adversary: m=%d epsilon=%d (%d/%d evals)@,"
+    r.iv_m r.iv_epsilon r.iv_evals r.iv_budget;
+  Format.fprintf ppf "fault-free latency: %.3f@," r.iv_fault_free;
+  (match r.iv_cert_resists with
+  | Some true -> Format.fprintf ppf "certificate: resists %d crashes@," r.iv_epsilon
+  | Some false ->
+      Format.fprintf ppf "certificate: REFUTED at %d crashes@," r.iv_epsilon
+  | None -> Format.fprintf ppf "certificate: unavailable@,");
+  (match r.iv_worst with
+  | None -> Format.fprintf ppf "worst plan: none completed@,"
+  | Some w ->
+      Format.fprintf ppf
+        "worst <=epsilon plan: latency %.3f (slowdown %.2fx, %s) [%a]@,"
+        w.w_latency w.w_slowdown
+        (if w.w_exhaustive then "exhaustive" else "beam")
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (p, tau) -> Format.fprintf ppf "P%d@@%a" p pp_instant tau))
+        w.w_crashes);
+  match r.iv_min_kill with
+  | None -> Format.fprintf ppf "min kill set: none found@]"
+  | Some k ->
+      Format.fprintf ppf
+        "min kill set: {%a} (%s) -> %d/%d tasks, %d/%d sinks, frontier %.3f@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf p -> Format.fprintf ppf "P%d" p))
+        k.k_procs
+        (if k.k_certified then "certified minimal" else "heuristic")
+        k.k_degradation.Replay.d_tasks k.k_degradation.Replay.d_task_count
+        k.k_degradation.Replay.d_sinks k.k_degradation.Replay.d_sink_count
+        k.k_degradation.Replay.d_frontier
+
+let json_of_degradation (d : Replay.degradation) =
+  Json.Obj
+    [
+      ("tasks_completed", Json.Int d.Replay.d_tasks);
+      ("task_count", Json.Int d.Replay.d_task_count);
+      ("sinks_completed", Json.Int d.Replay.d_sinks);
+      ("sink_count", Json.Int d.Replay.d_sink_count);
+      ("completion_fraction", Json.Float (Replay.completion_fraction d));
+      ("sink_fraction", Json.Float (Replay.sink_fraction d));
+      ("frontier_latency", Json.Float d.Replay.d_frontier);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("m", Json.Int r.iv_m);
+      ("epsilon", Json.Int r.iv_epsilon);
+      ("budget", Json.Int r.iv_budget);
+      ("evals", Json.Int r.iv_evals);
+      ("fault_free_latency", Json.Float r.iv_fault_free);
+      ( "certificate_resists",
+        match r.iv_cert_resists with
+        | None -> Json.Null
+        | Some b -> Json.Bool b );
+      ( "worst",
+        match r.iv_worst with
+        | None -> Json.Null
+        | Some w ->
+            Json.Obj
+              [
+                ( "crashes",
+                  Json.List
+                    (List.map
+                       (fun (p, tau) ->
+                         Json.Obj
+                           [
+                             ("proc", Json.Int p);
+                             ( "at",
+                               if tau = neg_infinity then
+                                 Json.String "start"
+                               else Json.Float tau );
+                           ])
+                       w.w_crashes) );
+                ("latency", Json.Float w.w_latency);
+                ("slowdown", Json.Float w.w_slowdown);
+                ("exhaustive", Json.Bool w.w_exhaustive);
+              ] );
+      ( "min_kill",
+        match r.iv_min_kill with
+        | None -> Json.Null
+        | Some k ->
+            Json.Obj
+              [
+                ( "procs",
+                  Json.List (List.map (fun p -> Json.Int p) k.k_procs) );
+                ("size", Json.Int (List.length k.k_procs));
+                ("certified", Json.Bool k.k_certified);
+                ("degradation", json_of_degradation k.k_degradation);
+              ] );
+    ]

@@ -1,5 +1,12 @@
 type mode = From_start | Timed of float
 
+type degradation = {
+  deg_completion_mean : float;
+  deg_completion_min : float;
+  deg_sink_mean : float;
+  deg_frontier_mean : float;
+}
+
 type report = {
   runs : int;
   completed : int;
@@ -7,6 +14,7 @@ type report = {
   latency : Stats.summary option;
   worst_slowdown : float;
   failure_rate : float;
+  degradation : degradation option;
 }
 
 let m_scenarios =
@@ -47,6 +55,11 @@ let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?fabric ~crashes ~mode sched
     Domain.DLS.new_key (fun () ->
         (Replay.compile ?fabric sched, Array.make m infinity))
   in
+  (* Degradation tracking only engages beyond the tolerance the schedule
+     was built for: within epsilon the completion fraction is constantly
+     1.0 (Proposition 5.2) and the plain latency path stays bit-identical
+     to the historical reports. *)
+  let beyond = crashes > Schedule.epsilon sched in
   let eval_one scenario =
     let c, crash_time = Domain.DLS.get sim in
     Array.fill crash_time 0 m infinity;
@@ -54,10 +67,17 @@ let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?fabric ~crashes ~mode sched
       (fun (p, tau) ->
         crash_time.(p) <- Float.min crash_time.(p) tau)
       scenario;
-    Replay.eval_latency c ~crash_time
+    if not beyond then (Replay.eval_latency c ~crash_time, None)
+    else
+      let d = Replay.eval_degraded c ~crash_time in
+      let lat =
+        if d.Replay.d_tasks = d.Replay.d_task_count then d.Replay.d_frontier
+        else nan
+      in
+      (lat, Some d)
   in
   let t0 = Obs_clock.now () in
-  let lats = Parallel.map ~domains eval_one scenarios in
+  let results = Parallel.map ~domains eval_one scenarios in
   let dt = Obs_clock.now () -. t0 in
   if dt > 0. then Obs_metrics.set g_throughput (float_of_int runs /. dt);
   (* Aggregate in run order so the Kahan sums in [Stats.summarize] see
@@ -65,14 +85,40 @@ let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?fabric ~crashes ~mode sched
   let latencies = ref [] in
   let completed = ref 0 in
   List.iter
-    (fun lat ->
+    (fun (lat, _) ->
       if not (Float.is_nan lat) then begin
         incr completed;
         latencies := lat :: !latencies
       end)
-    lats;
+    results;
   let latency =
     match !latencies with [] -> None | ls -> Some (Stats.summarize ls)
+  in
+  let degradation =
+    if not beyond then None
+    else begin
+      let n = float_of_int runs in
+      let csum = ref 0. and cmin = ref 1. in
+      let ssum = ref 0. and fsum = ref 0. in
+      List.iter
+        (fun (_, d) ->
+          match d with
+          | None -> ()
+          | Some d ->
+              let cf = Replay.completion_fraction d in
+              csum := !csum +. cf;
+              if cf < !cmin then cmin := cf;
+              ssum := !ssum +. Replay.sink_fraction d;
+              fsum := !fsum +. d.Replay.d_frontier)
+        results;
+      Some
+        {
+          deg_completion_mean = !csum /. n;
+          deg_completion_min = !cmin;
+          deg_sink_mean = !ssum /. n;
+          deg_frontier_mean = !fsum /. n;
+        }
+    end
   in
   {
     runs;
@@ -84,14 +130,24 @@ let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?fabric ~crashes ~mode sched
       | Some s when l0 > 0. -> s.Stats.max /. l0
       | _ -> nan);
     failure_rate = float_of_int (runs - !completed) /. float_of_int runs;
+    degradation;
   }
+
+let degradation_curve ?seed ?runs ?domains ?fabric ?max_crashes ~mode sched =
+  let m = Platform.proc_count (Schedule.platform sched) in
+  let eps = Schedule.epsilon sched in
+  let hi =
+    match max_crashes with Some k -> min k m | None -> min m (eps + 3)
+  in
+  List.init (hi + 1) (fun crashes ->
+      (crashes, run ?seed ?runs ?domains ?fabric ~crashes ~mode sched))
 
 let slowdown_cell x =
   if Float.is_nan x then "-" else Printf.sprintf "%.2fx" x
 
 let pp ppf r =
   Format.fprintf ppf
-    "@[<v>%d/%d runs completed (failure rate %.2f%%, %d replays)@,%a@]"
+    "@[<v>%d/%d runs completed (failure rate %.2f%%, %d replays)@,%a%a@]"
     r.completed r.runs
     (100. *. r.failure_rate)
     r.replays
@@ -106,3 +162,12 @@ let pp ppf r =
             s.Stats.mean s.Stats.median s.Stats.min s.Stats.max
             (slowdown_cell r.worst_slowdown))
     r.latency
+    (fun ppf -> function
+      | None -> ()
+      | Some d ->
+          Format.fprintf ppf
+            "@,degradation: completion mean %.3f min %.3f, sinks mean %.3f, \
+             frontier mean %.3f"
+            d.deg_completion_mean d.deg_completion_min d.deg_sink_mean
+            d.deg_frontier_mean)
+    r.degradation

@@ -11,6 +11,19 @@ type mode =
           [\[0, horizon)], where horizon is the given value (use the
           schedule makespan for full coverage) *)
 
+(** Graceful-degradation statistics over the runs of one campaign,
+    computed only when it injects {e more} crashes than the schedule's
+    [epsilon] — within tolerance the completion fraction is constantly
+    1.0 by Proposition 5.2 and the plain path is kept bit-identical. *)
+type degradation = {
+  deg_completion_mean : float;
+      (** mean fraction of tasks still completing per run *)
+  deg_completion_min : float;  (** worst run *)
+  deg_sink_mean : float;  (** mean fraction of sink tasks delivered *)
+  deg_frontier_mean : float;
+      (** mean latency of the surviving frontier (0 when nothing ran) *)
+}
+
 type report = {
   runs : int;
   completed : int;  (** runs in which every task produced a result *)
@@ -22,6 +35,9 @@ type report = {
       (** max completed latency / zero-crash latency; [nan] if none —
           printed as ["-"] by {!pp} *)
   failure_rate : float;  (** fraction of runs that lost a task *)
+  degradation : degradation option;
+      (** [Some] iff [crashes > epsilon]; {!pp} adds a degradation line
+          only in that case, so historical output is unchanged *)
 }
 
 val run :
@@ -45,5 +61,21 @@ val run :
     test suite).  The default stays sequential because campaign code may
     already be running one {!Parallel.map} over experiment points.  Sets
     the [replay.scenarios_per_sec] gauge. *)
+
+val degradation_curve :
+  ?seed:int ->
+  ?runs:int ->
+  ?domains:int ->
+  ?fabric:Netstate.fabric ->
+  ?max_crashes:int ->
+  mode:mode ->
+  Schedule.t ->
+  (int * report) list
+(** [degradation_curve ~mode sched] sweeps the crash count from [0] to
+    [max_crashes] (default [min m (epsilon + 3)] — past the tolerance)
+    and runs one campaign per count: the completion-fraction-vs-crash
+    curve of the schedule.  Reports for counts [<= epsilon] have
+    [degradation = None] (they complete everything); later points carry
+    the degradation statistics. *)
 
 val pp : Format.formatter -> report -> unit

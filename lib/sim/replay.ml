@@ -2,6 +2,7 @@ type replica_outcome =
   | Ran of { start : float; finish : float }
   | Crashed
   | Starved of Dag.task
+  | Lost of { start : float; finish : float }
 
 type outcome = {
   completed : bool;
@@ -376,7 +377,7 @@ let reference ?fabric ?(dead_links = []) sched ~crash_time =
     Array.iter
       (function
         | Ran { finish; _ } -> earliest := Float.min !earliest finish
-        | Crashed | Starved _ -> ())
+        | Crashed | Starved _ | Lost _ -> ())
       replica_result.(task);
     if !earliest = infinity then failed := task :: !failed
     else latency := Float.max !latency !earliest
@@ -397,6 +398,7 @@ let reference ?fabric ?(dead_links = []) sched ~crash_time =
 let st_crashed = 0
 let st_ran = 1
 let st_starved = 2
+let st_lost = 3
 
 type compiled = {
   (* immutable description ------------------------------------------- *)
@@ -432,6 +434,8 @@ type compiled = {
   c_route_off : int array;  (* nmsgs + 1; precomputed physical routes *)
   c_route : int array;
   c_phys_count : int;
+  c_fabric : Netstate.fabric;  (* for projecting plan outages onto links *)
+  c_sinks : int array;  (* exit tasks, for degradation reports *)
   (* scratch arena: reset in place at the start of every eval ---------- *)
   s_indeg : int array;
   s_finish : float array;     (* dynamic replica finish, infinity if not Ran *)
@@ -739,6 +743,8 @@ let compile ?fabric sched =
       c_route_off = route_off;
       c_route = route_dat;
       c_phys_count = fabric.Netstate.phys_count;
+      c_fabric = fabric;
+      c_sinks = Array.of_list (Dag.exits dag);
       s_indeg = Array.make nnodes 0;
       s_finish = Array.make (max 1 nreplicas) infinity;
       s_start = Array.make (max 1 nreplicas) 0.;
@@ -958,9 +964,10 @@ let eval_latency ?(dead_links = []) c ~crash_time =
   done;
   if !failed then nan else !latency
 
-let eval ?(dead_links = []) c ~crash_time =
-  Obs_trace.with_span ~cat:"sim" "replay.eval" @@ fun () ->
-  eval_core c ~crash_time ~dead_links;
+(* Materialize the outcome record from the scratch arena (after a core
+   pass).  Shared by [eval] and [eval_plan]; only plans can leave a
+   replica in [st_lost]. *)
+let collect_outcome c =
   let replica_result =
     Array.init c.c_v (fun task ->
         Array.init c.c_eps1 (fun idx ->
@@ -968,6 +975,12 @@ let eval ?(dead_links = []) c ~crash_time =
             if c.s_state.(rn) = st_ran then
               Ran { start = c.s_start.(rn); finish = c.s_finish.(rn) }
             else if c.s_state.(rn) = st_starved then Starved c.s_starved.(rn)
+            else if c.s_state.(rn) = st_lost then
+              Lost
+                {
+                  start = c.s_start.(rn);
+                  finish = c.s_start.(rn) +. c.c_r_dur.(rn);
+                }
             else Crashed))
   in
   let failed = ref [] in
@@ -977,7 +990,7 @@ let eval ?(dead_links = []) c ~crash_time =
     Array.iter
       (function
         | Ran { finish; _ } -> earliest := Float.min !earliest finish
-        | Crashed | Starved _ -> ())
+        | Crashed | Starved _ | Lost _ -> ())
       replica_result.(task);
     if !earliest = infinity then failed := task :: !failed
     else latency := Float.max !latency !earliest
@@ -989,6 +1002,11 @@ let eval ?(dead_links = []) c ~crash_time =
     failed_tasks;
     replicas = replica_result;
   }
+
+let eval ?(dead_links = []) c ~crash_time =
+  Obs_trace.with_span ~cat:"sim" "replay.eval" @@ fun () ->
+  eval_core c ~crash_time ~dead_links;
+  collect_outcome c
 
 (* -- crash-time helpers and thin wrappers ------------------------------ *)
 
@@ -1008,16 +1026,437 @@ let eval_crashed ?(dead_links = []) c ~crashed =
 let eval_timed ?(dead_links = []) c ~crashes =
   eval ~dead_links c ~crash_time:(crash_times_timed c.c_m crashes)
 
+(* ==================================================================== *)
+(* Fault plans: timeline events generalizing the crash-only scenarios.  *)
+(* ==================================================================== *)
+
+type fault_event =
+  | Crash of { proc : Platform.proc; at : float }
+  | Recover of { proc : Platform.proc; at : float }
+  | Link_outage of Netstate.outage
+  | Lose_result of { task : Dag.task; replica : int }
+
+type plan = fault_event list
+
+let m_plans =
+  Obs_metrics.counter ~help:"fault plans executed (Replay.eval_plan)"
+    "inject.plans"
+
+(* Per-processor down windows from the crash/recover events of a plan:
+   a two-state machine over the time-ordered events.  Crashing a dead
+   processor or recovering a live one is a no-op; a crash with no later
+   recovery leaves the processor down forever.  At equal instants the
+   crash is applied first, so the zero-width window is dropped. *)
+let down_windows m plan =
+  let evs = Array.make m [] in
+  let check proc =
+    if proc < 0 || proc >= m then
+      invalid_arg "Replay.eval_plan: processor out of range"
+  in
+  List.iter
+    (function
+      | Crash { proc; at } ->
+          check proc;
+          evs.(proc) <- (at, 0) :: evs.(proc)
+      | Recover { proc; at } ->
+          check proc;
+          evs.(proc) <- (at, 1) :: evs.(proc)
+      | Link_outage _ | Lose_result _ -> ())
+    plan;
+  Array.map
+    (fun l ->
+      let windows = ref [] in
+      let open_at = ref None in
+      List.iter
+        (fun (t, kind) ->
+          match (kind, !open_at) with
+          | 0, None -> open_at := Some t
+          | 0, Some _ -> ()
+          | _, Some s ->
+              if t > s then windows := (s, t) :: !windows;
+              open_at := None
+          | _, None -> ())
+        (List.sort compare l);
+      (match !open_at with
+      | Some s -> windows := (s, infinity) :: !windows
+      | None -> ());
+      Netstate.merge_windows !windows)
+    evs
+
+(* Earliest start >= [t] such that [start, start + dur] avoids every
+   window of the sorted disjoint list [ws].  The boundary convention
+   matches [eval]'s kill rule (finish > crash_time dies): finishing
+   exactly when a window opens, or starting exactly when one closes, is
+   fine.  Returns [infinity] iff blocked by a window that never ends. *)
+let rec fit_windows ws t dur =
+  match ws with
+  | [] -> t
+  | (s, f) :: rest ->
+      if t +. dur <= s then t
+      else if f = infinity then infinity
+      else fit_windows rest (Float.max t f) dur
+
+(* Earliest instant >= [t] outside every window (open on the left:
+   an event exactly at a window start still lands).  Buffering model for
+   macro-dataflow arrivals: a receiver down at the arrival instant picks
+   the data up on recovery. *)
+let rec defer_instant ws t =
+  match ws with
+  | [] -> t
+  | (s, f) :: rest -> if t <= s then t else if t < f then f else defer_instant rest t
+
+(* Generalized core: [eval_core] with per-processor down windows,
+   per-message link-outage windows (healing: traffic is delayed, not
+   lost) and transient result losses.  Kept separate so the crash-only
+   fast path stays branch-free. *)
+let eval_plan_core c ~down ~never_up ~msg_down ~lost ~dead_links =
+  Obs_metrics.incr m_replays;
+  (* -- reset (identical to [eval_core]) ------------------------------ *)
+  Array.fill c.s_finish 0 (Array.length c.s_finish) infinity;
+  Array.fill c.s_state 0 (Array.length c.s_state) st_crashed;
+  Array.fill c.s_delivered 0 (Array.length c.s_delivered) infinity;
+  Array.fill c.s_exec_free 0 c.c_m 0.;
+  if c.c_insertion then
+    (* seed the gap structure with the down windows so gap placement
+       never lands inside one *)
+    for p = 0 to c.c_m - 1 do
+      c.s_busy.(p) <- down.(p)
+    done;
+  if c.c_contended then begin
+    for p = 0 to c.c_m - 1 do
+      Array.fill c.s_send_free.(p) 0 c.c_port_slots 0.;
+      Array.fill c.s_recv_free.(p) 0 c.c_port_slots 0.
+    done;
+    Array.fill c.s_phys_free 0 (Array.length c.s_phys_free) 0.
+  end;
+  (if c.s_dead_dirty then begin
+     Array.fill c.s_msg_dead 0 (Array.length c.s_msg_dead) false;
+     c.s_dead_dirty <- false
+   end);
+  (match dead_links with
+  | [] -> ()
+  | dl ->
+      c.s_dead_dirty <- true;
+      for mi = 0 to c.c_nmsgs - 1 do
+        c.s_msg_dead.(mi) <- List.mem (c.c_msg_src.(mi), c.c_msg_dst.(mi)) dl
+      done);
+
+  let min_slot slots = Array.fold_left Float.min infinity slots in
+  let argmin_slot slots =
+    let best = ref 0 in
+    Array.iteri (fun i v -> if v < slots.(!best) then best := i) slots;
+    !best
+  in
+  let fit_gap p ~ready ~dur =
+    let rec fit prev_end = function
+      | [] -> Float.max prev_end ready
+      | (s, f) :: rest ->
+          let cand = Float.max prev_end ready in
+          if cand +. dur <= s +. 1e-9 then cand
+          else fit (Float.max prev_end f) rest
+    in
+    fit 0. c.s_busy.(p)
+  in
+  let occupy p start finish =
+    let rec insert = function
+      | [] -> [ (start, finish) ]
+      | ((s, _) as iv) :: rest when s < start -> iv :: insert rest
+      | rest -> (start, finish) :: rest
+    in
+    c.s_busy.(p) <- insert c.s_busy.(p)
+  in
+  let link_free mi =
+    let acc = ref 0. in
+    for k = c.c_route_off.(mi) to c.c_route_off.(mi + 1) - 1 do
+      let f = c.s_phys_free.(c.c_route.(k)) in
+      if f > !acc then acc := f
+    done;
+    !acc
+  in
+  let occupy_link mi finish =
+    for k = c.c_route_off.(mi) to c.c_route_off.(mi + 1) - 1 do
+      c.s_phys_free.(c.c_route.(k)) <- finish
+    done
+  in
+
+  let process_replica rn =
+    let p = c.c_r_proc.(rn) in
+    let dur = c.c_r_dur.(rn) in
+    let starved = ref (-1) in
+    let data_ready = ref 0. in
+    for slot = c.c_pred_off.(rn) to c.c_pred_off.(rn + 1) - 1 do
+      let ready = ref infinity in
+      for k = c.c_sup_off.(slot) to c.c_sup_off.(slot + 1) - 1 do
+        let node = c.c_sup.(k) in
+        let t =
+          if node < c.c_nreplicas then c.s_finish.(node)
+          else c.s_delivered.(node - c.c_nreplicas)
+        in
+        if t < !ready then ready := t
+      done;
+      if !ready = infinity && !starved < 0 then starved := c.c_pred_task.(slot)
+      else data_ready := Float.max !data_ready !ready
+    done;
+    if never_up.(p) then () (* stays st_crashed, like dead-from-start *)
+    else if !starved >= 0 then begin
+      c.s_state.(rn) <- st_starved;
+      c.s_starved.(rn) <- !starved
+    end
+    else begin
+      let start =
+        if c.c_insertion then fit_gap p ~ready:!data_ready ~dur
+        else fit_windows down.(p) (Float.max c.s_exec_free.(p) !data_ready) dur
+      in
+      if start = infinity then
+        (* blocked by a crash that never heals: nothing later on this
+           processor runs either, matching [eval]'s mid-run kill rule *)
+        c.s_exec_free.(p) <- infinity (* stays st_crashed *)
+      else begin
+        let finish = start +. dur in
+        c.s_exec_free.(p) <- Float.max c.s_exec_free.(p) finish;
+        if c.c_insertion then occupy p start finish;
+        c.s_start.(rn) <- start;
+        if lost.(rn) then c.s_state.(rn) <- st_lost
+          (* ran, but the result is silently dropped: s_finish stays
+             infinity so no consumer and no message sees it *)
+        else begin
+          c.s_finish.(rn) <- finish;
+          c.s_state.(rn) <- st_ran
+        end
+      end
+    end
+  in
+
+  let process_message mi =
+    let src = c.c_msg_src.(mi) and dst = c.c_msg_dst.(mi) in
+    let w = c.c_msg_dur.(mi) in
+    let src_finish = c.s_finish.(c.c_msg_src_rn.(mi)) in
+    if src_finish = infinity then c.s_delivered.(mi) <- infinity
+    else begin
+      let dead = c.s_dead_dirty && c.s_msg_dead.(mi) in
+      (* settle the leg to a fixpoint: it must clear both the sender's
+         down windows (the port sends nothing while down) and, unless the
+         route is permanently dead anyway, the link-outage windows *)
+      let settle t0 =
+        let t = ref t0 in
+        let stable = ref false in
+        while (not !stable) && !t < infinity do
+          let t' = fit_windows down.(src) !t w in
+          let t'' = if dead then t' else fit_windows msg_down.(mi) t' w in
+          if t'' = !t then stable := true else t := t''
+        done;
+        !t
+      in
+      let base =
+        if not c.c_contended then src_finish
+        else
+          Float.max
+            (min_slot c.s_send_free.(src))
+            (Float.max src_finish (link_free mi))
+      in
+      let leg_start = settle base in
+      if leg_start = infinity then begin
+        (* if the block is the sender dying for good, it died with the
+           port busy mid-send: no later message leaves this port either,
+           matching [eval]'s kill rule (an unhealed link outage, by
+           contrast, strands only this message) *)
+        if c.c_contended && fit_windows down.(src) base w = infinity then
+          Array.fill c.s_send_free.(src) 0 c.c_port_slots infinity;
+        c.s_delivered.(mi) <- infinity
+      end
+      else begin
+        let leg_finish = leg_start +. w in
+        (if c.c_contended then begin
+           c.s_send_free.(src).(argmin_slot c.s_send_free.(src)) <- leg_finish;
+           occupy_link mi leg_finish
+         end);
+        if dead || never_up.(dst) then c.s_delivered.(mi) <- infinity
+        else if not c.c_contended then
+          c.s_delivered.(mi) <- defer_instant down.(dst) leg_finish
+        else begin
+          let slot = argmin_slot c.s_recv_free.(dst) in
+          let arrival0 = w +. Float.max c.s_recv_free.(dst).(slot) leg_start in
+          (* the whole reception window must avoid the receiver's down
+             time; a receiver down at arrival retries after recovery *)
+          let rs = fit_windows down.(dst) (arrival0 -. w) w in
+          if rs = infinity then c.s_delivered.(mi) <- infinity
+          else begin
+            let arrival = rs +. w in
+            c.s_recv_free.(dst).(slot) <- arrival;
+            c.s_delivered.(mi) <- arrival
+          end
+        end
+      end
+    end
+  in
+
+  (* -- Kahn traversal over the prebuilt graph ------------------------ *)
+  let nnodes = c.c_nreplicas + c.c_nmsgs in
+  let queue = c.s_queue in
+  Heap.clear queue;
+  for n = 0 to nnodes - 1 do
+    c.s_indeg.(n) <- c.c_indeg0.(n);
+    if c.c_indeg0.(n) = 0 then Heap.add queue n
+  done;
+  while not (Heap.is_empty queue) do
+    let n = Heap.pop_exn queue in
+    if n < c.c_nreplicas then process_replica n
+    else process_message (n - c.c_nreplicas);
+    for k = c.c_adj_off.(n) to c.c_adj_off.(n + 1) - 1 do
+      let n' = c.c_adj.(k) in
+      c.s_indeg.(n') <- c.s_indeg.(n') - 1;
+      if c.s_indeg.(n') = 0 then Heap.add queue n'
+    done
+  done
+
+(* A plan with only [Crash] events is a crash-time array in disguise:
+   route it through [eval_core] so the golden outcomes of the historical
+   wrappers are preserved by construction. *)
+let degenerate_crash_times c plan =
+  let crash_time = Array.make c.c_m infinity in
+  List.iter
+    (function
+      | Crash { proc; at } ->
+          if proc < 0 || proc >= c.c_m then
+            invalid_arg "Replay.eval_plan: processor out of range";
+          crash_time.(proc) <- Float.min crash_time.(proc) at
+      | _ -> ())
+    plan;
+  crash_time
+
+let run_plan_core ?(dead_links = []) c plan =
+  Obs_metrics.incr m_plans;
+  let degenerate =
+    List.for_all (function Crash _ -> true | _ -> false) plan
+  in
+  if degenerate then
+    eval_core c ~crash_time:(degenerate_crash_times c plan) ~dead_links
+  else begin
+    let down = down_windows c.c_m plan in
+    let never_up =
+      Array.map
+        (function (s, f) :: _ -> s = neg_infinity && f = infinity | [] -> false)
+        down
+    in
+    let lost = Array.make (max 1 c.c_nreplicas) false in
+    List.iter
+      (function
+        | Lose_result { task; replica } ->
+            if
+              task < 0 || task >= c.c_v || replica < 0 || replica >= c.c_eps1
+            then invalid_arg "Replay.eval_plan: replica out of range";
+            lost.((task * c.c_eps1) + replica) <- true
+        | _ -> ())
+      plan;
+    let outages =
+      List.filter_map (function Link_outage o -> Some o | _ -> None) plan
+    in
+    let msg_down = Array.make (max 1 c.c_nmsgs) [] in
+    (if outages <> [] then
+       if c.c_contended then begin
+         let per_link = Netstate.outage_windows c.c_fabric outages in
+         for mi = 0 to c.c_nmsgs - 1 do
+           let ws = ref [] in
+           for k = c.c_route_off.(mi) to c.c_route_off.(mi + 1) - 1 do
+             ws := per_link.(c.c_route.(k)) @ !ws
+           done;
+           msg_down.(mi) <- Netstate.merge_windows !ws
+         done
+       end
+       else
+         (* macro-dataflow has no shared physical links: an outage hits
+            exactly the matching ordered pair *)
+         for mi = 0 to c.c_nmsgs - 1 do
+           msg_down.(mi) <-
+             Netstate.merge_windows
+               (List.filter_map
+                  (fun (o : Netstate.outage) ->
+                    if
+                      o.Netstate.o_src = c.c_msg_src.(mi)
+                      && o.Netstate.o_dst = c.c_msg_dst.(mi)
+                      && o.Netstate.o_until > o.Netstate.o_from
+                    then Some (o.Netstate.o_from, o.Netstate.o_until)
+                    else None)
+                  outages)
+         done);
+    Obs_trace.with_span ~cat:"sim" "replay.eval_plan" @@ fun () ->
+    eval_plan_core c ~down ~never_up ~msg_down ~lost ~dead_links
+  end
+
+let eval_plan ?dead_links c plan =
+  run_plan_core ?dead_links c plan;
+  collect_outcome c
+
+(* -- degradation report ------------------------------------------------ *)
+
+type degradation = {
+  d_tasks : int;
+  d_task_count : int;
+  d_sinks : int;
+  d_sink_count : int;
+  d_frontier : float;
+}
+
+(* Scan the scratch arena for the surviving frontier (no per-replica
+   materialization — the Monte-Carlo degradation sweep's inner loop). *)
+let degradation_of_scratch c =
+  let tasks_done = ref 0 in
+  let frontier = ref 0. in
+  let task_done = Array.make c.c_v false in
+  let rn = ref 0 in
+  for task = 0 to c.c_v - 1 do
+    let earliest = ref infinity in
+    for _idx = 0 to c.c_eps1 - 1 do
+      let f = c.s_finish.(!rn) in
+      if f < !earliest then earliest := f;
+      incr rn
+    done;
+    if !earliest < infinity then begin
+      incr tasks_done;
+      task_done.(task) <- true;
+      if !earliest > !frontier then frontier := !earliest
+    end
+  done;
+  let sinks_done =
+    Array.fold_left
+      (fun acc s -> if task_done.(s) then acc + 1 else acc)
+      0 c.c_sinks
+  in
+  {
+    d_tasks = !tasks_done;
+    d_task_count = c.c_v;
+    d_sinks = sinks_done;
+    d_sink_count = Array.length c.c_sinks;
+    d_frontier = !frontier;
+  }
+
+let completion_fraction d =
+  if d.d_task_count = 0 then 1.
+  else float_of_int d.d_tasks /. float_of_int d.d_task_count
+
+let sink_fraction d =
+  if d.d_sink_count = 0 then 1.
+  else float_of_int d.d_sinks /. float_of_int d.d_sink_count
+
+let eval_plan_degraded ?dead_links c plan =
+  run_plan_core ?dead_links c plan;
+  degradation_of_scratch c
+
+let eval_degraded ?(dead_links = []) c ~crash_time =
+  eval_core c ~crash_time ~dead_links;
+  degradation_of_scratch c
+
+(* -- one-shot wrappers, re-expressed as degenerate plans --------------- *)
+
 let crash_from_start ?fabric ?(dead_links = []) sched ~crashed =
-  eval_crashed ~dead_links (compile ?fabric sched) ~crashed
+  eval_plan ~dead_links (compile ?fabric sched)
+    (List.map (fun p -> Crash { proc = p; at = neg_infinity }) crashed)
 
 let crash_timed ?fabric ?(dead_links = []) sched ~crashes =
-  eval_timed ~dead_links (compile ?fabric sched) ~crashes
+  eval_plan ~dead_links (compile ?fabric sched)
+    (List.map (fun (p, tau) -> Crash { proc = p; at = tau }) crashes)
 
-let fault_free ?fabric sched =
-  let c = compile ?fabric sched in
-  eval c ~crash_time:(Array.make c.c_m infinity)
+let fault_free ?fabric sched = eval_plan (compile ?fabric sched) []
 
 let crash_links ?fabric sched ~links =
-  let c = compile ?fabric sched in
-  eval ~dead_links:links c ~crash_time:(Array.make c.c_m infinity)
+  eval_plan ~dead_links:links (compile ?fabric sched) []

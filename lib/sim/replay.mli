@@ -49,6 +49,10 @@ type replica_outcome =
   | Crashed  (** processor in the crash scenario, or died mid-execution *)
   | Starved of Dag.task
       (** never ran: no surviving supply for this predecessor *)
+  | Lost of { start : float; finish : float }
+      (** ran but its result was silently dropped — the fail-silent
+          task-grain fault of {!eval_plan}'s [Lose_result] events; the
+          replica occupied its processor yet supplied no consumer *)
 
 (** {1 Compile-once evaluation}
 
@@ -119,6 +123,91 @@ val eval_timed :
   outcome
 (** {!eval} where processor [p] dies at time [tau] (earliest wins if a
     processor is listed twice). *)
+
+(** {1 Fault plans}
+
+    A fault plan generalizes the crash-time array into a timeline of
+    heterogeneous fault events — the input language of the
+    [Ftsched_sim.Inject] adversary and of [ftsched stress]:
+
+    - [Crash]/[Recover] pairs carve {e down windows} out of a
+      processor's timeline.  While down it computes nothing, sends
+      nothing and receives nothing; work is {e delayed} past the window
+      (results produced before a crash persist — stable local storage —
+      and a window that never closes reproduces the classic fail-stop
+      crash exactly);
+    - [Link_outage] makes a directed route unusable for a window; unlike
+      [dead_links] (permanent, traffic lost in transit) an outage
+      {e delays} traffic, modelling retransmission once the link heals;
+    - [Lose_result] is the paper's fail-silent behaviour at task grain: a
+      single replica runs, occupies its processor, but its result is
+      silently dropped — no co-located consumer and no message ever sees
+      it.
+
+    A plan containing only [Crash] events is {e degenerate}: it reduces
+    to a crash-time array (earliest crash per processor wins) and is
+    routed through the exact same code path as {!eval}, so the one-shot
+    wrappers below — re-expressed over plans — keep their historical
+    outcomes bit for bit. *)
+
+type fault_event =
+  | Crash of { proc : Platform.proc; at : float }
+      (** processor dies at [at] ([neg_infinity]: dead from start) *)
+  | Recover of { proc : Platform.proc; at : float }
+      (** processor comes back at [at] (no matching crash: ignored) *)
+  | Link_outage of Netstate.outage
+      (** healing outage window on a directed route *)
+  | Lose_result of { task : Dag.task; replica : int }
+      (** this replica's result is silently lost (transient fault) *)
+
+type plan = fault_event list
+
+val eval_plan :
+  ?dead_links:(Platform.proc * Platform.proc) list ->
+  compiled ->
+  plan ->
+  outcome
+(** Replay one fault plan.  Event order in the list is irrelevant (the
+    timeline is reconstructed from the instants); crashing an
+    already-dead processor or recovering a live one is a no-op.  Raises
+    [Invalid_argument] for out-of-range processor, task or replica ids.
+    The empty plan is fault-free: [eval_plan c [] = fault_free sched]. *)
+
+(** Graceful-degradation summary of one replay: what still completed
+    when the plan exceeded the schedule's tolerance.  [d_frontier] is
+    the latency of the surviving frontier — the latest completion over
+    tasks that did complete ([0.] if none did); it equals
+    [outcome.latency] when everything completed. *)
+type degradation = {
+  d_tasks : int;  (** tasks with at least one surviving replica *)
+  d_task_count : int;
+  d_sinks : int;  (** sink (exit) tasks delivered *)
+  d_sink_count : int;
+  d_frontier : float;
+}
+
+val completion_fraction : degradation -> float
+(** [d_tasks / d_task_count] (1.0 on an empty DAG). *)
+
+val sink_fraction : degradation -> float
+(** [d_sinks / d_sink_count] (1.0 on an empty DAG). *)
+
+val eval_plan_degraded :
+  ?dead_links:(Platform.proc * Platform.proc) list ->
+  compiled ->
+  plan ->
+  degradation
+(** Like {!eval_plan} but returns only the degradation summary, without
+    materializing per-replica outcomes — the inner loop of degradation
+    curves and adversary search. *)
+
+val eval_degraded :
+  ?dead_links:(Platform.proc * Platform.proc) list ->
+  compiled ->
+  crash_time:float array ->
+  degradation
+(** {!eval_degraded} for a plain crash-time scenario (the Monte-Carlo
+    degradation sweep's hot path). *)
 
 val reference :
   ?fabric:Netstate.fabric ->

@@ -141,3 +141,60 @@ The same dump is available as machine-readable JSON:
   1
   $ grep -o '"name":"place"' trace.json | wc -l | tr -d ' '
   10
+
+Adversarial fault injection: the worst within-epsilon plan, the minimal
+kill set cross-checked against the resistance certificate, and the
+graceful-degradation curve past the tolerance:
+
+  $ ftsched stress --seed 2 --tasks 10 -m 4 --epsilon 1 --budget small --runs 40
+  CAFT, 10 tasks on 4 processors
+  adversary: m=4 epsilon=1 (17/2000 evals)
+  fault-free latency: 884.755
+  certificate: resists 1 crashes
+  worst <=epsilon plan: latency 1011.092 (slowdown 1.14x, exhaustive) [P0@start]
+  min kill set: {P1, P3} (certified minimal) -> 0/10 tasks, 0/1 sinks, frontier 0.000
+  degradation curve (40 runs per point):
+    crashes  completed  completion(mean/min)  worst-slowdown
+          0    40/40       1.000/1.000     1.00x
+          1    40/40       1.000/1.000     1.14x
+          2    13/40       0.380/0.000     1.14x
+          3     0/40       0.060/0.000     -
+
+The same report as JSON, including the dynamic half of Proposition 5.2
+(every sampled scenario within epsilon crashes completed):
+
+  $ ftsched stress --seed 2 --tasks 10 -m 4 --epsilon 1 --budget small --runs 10 --json > stress.json
+  $ grep -o '"certificate_resists":[a-z]*' stress.json
+  "certificate_resists":true
+  $ grep -o '"within_epsilon_ok":[a-z]*' stress.json
+  "within_epsilon_ok":true
+
+Malformed user inputs exit with one structured line instead of a raw
+exception backtrace:
+
+  $ cat > bad.dot <<'DOT'
+  > graph {
+  >   0 -- 1
+  > DOT
+  $ ftsched schedule --import bad.dot
+  ftsched: error: bad.dot:2: unexpected character '-'
+  [2]
+
+  $ cat > cyclic.dot <<'DOT'
+  > digraph g {
+  >   0 -> 1
+  >   1 -> 0
+  > }
+  > DOT
+  $ ftsched schedule --import cyclic.dot
+  ftsched: error: cyclic.dot: graph has a dependency cycle through tasks {0,1}
+  [2]
+
+  $ echo 'not a schedule' > bad.sched
+  $ ftsched inspect --load bad.sched
+  ftsched: error: bad.sched:1: missing header 'ftsched-schedule v1'
+  [2]
+
+  $ ftsched schedule --import missing.dot
+  ftsched: error: missing.dot: No such file or directory
+  [2]

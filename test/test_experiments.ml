@@ -191,9 +191,68 @@ let test_gnuplot_script () =
   Helpers.check_bool "csv separator set" true
     (contains "set datafile separator ','")
 
+(* A campaign killed mid-run (simulated by a progress callback that
+   raises after the first completed point) leaves a checkpoint from which
+   the rerun produces a report byte-identical to an uninterrupted run. *)
+exception Killed
+
+let test_campaign_checkpoint_resume () =
+  let config =
+    Config.with_graphs_per_point
+      { (Config.figure 1) with Config.granularities = [ 0.5; 1.0; 1.5 ] }
+      2
+  in
+  let seed = 77 in
+  let reference = Campaign.run ~seed ~progress:ignore config in
+  let path = Filename.temp_file "ftsched_ckpt" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let count = ref 0 in
+      let killer _msg =
+        incr count;
+        if !count >= 2 then raise Killed
+      in
+      (try
+         ignore (Campaign.run ~seed ~progress:killer ~checkpoint:path config);
+         Alcotest.fail "campaign survived the kill"
+       with Killed -> ());
+      (* only the first point made it to disk before the kill *)
+      let restored = ref 0 in
+      let watch msg =
+        if
+          String.length msg >= 10
+          && String.sub msg (String.length msg - 10) 10 = "checkpoint"
+        then incr restored
+      in
+      let resumed =
+        Campaign.run ~seed ~progress:watch ~checkpoint:path config
+      in
+      Helpers.check_int "one point restored" 1 !restored;
+      Alcotest.(check string)
+        "byte-identical report"
+        (Report.render reference)
+        (Report.render resumed);
+      (* a second resume restores everything and stays identical *)
+      let resumed2 =
+        Campaign.run ~seed ~progress:ignore ~checkpoint:path config
+      in
+      Alcotest.(check string)
+        "fully-restored report"
+        (Report.render reference)
+        (Report.render resumed2);
+      (* a checkpoint under another seed is ignored, not misapplied *)
+      let other =
+        Campaign.run ~seed:(seed + 1) ~progress:ignore ~checkpoint:path config
+      in
+      Helpers.check_int "other seed recomputed" 3
+        (List.length other.Campaign.points))
+
 let suite =
   [
     Alcotest.test_case "gnuplot script" `Slow test_gnuplot_script;
+    Alcotest.test_case "campaign checkpoint resume" `Slow
+      test_campaign_checkpoint_resume;
     Alcotest.test_case "parallel map" `Quick test_parallel_map;
     Alcotest.test_case "parallel campaign identical" `Slow
       test_parallel_campaign_identical;

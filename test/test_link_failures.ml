@@ -95,7 +95,7 @@ let test_dead_links_with_crashes_compose () =
     (fun per_task ->
       Array.iter
         (function
-          | Replay.Ran { start; finish } ->
+          | Replay.Ran { start; finish } | Replay.Lost { start; finish } ->
               Helpers.check_bool "times ordered" true (start <= finish)
           | Replay.Crashed | Replay.Starved _ -> ())
         per_task)

@@ -206,6 +206,7 @@ let test_montecarlo_pp_nan () =
       latency = None;
       worst_slowdown = nan;
       failure_rate = 1.;
+      degradation = None;
     }
   in
   let s = Format.asprintf "%a" Monte_carlo.pp r in
