@@ -20,7 +20,11 @@ let placement_estimates : (string * float) list ref = ref []
 let replay_estimates : (string * float) list ref = ref []
 
 (* (domains, runs, wall seconds, scenarios per second) *)
-let replay_domain_rows : (int * int * float * float) list ref = ref []
+(* (domains, runs, wall seconds, scenarios/s, profile sub-object) *)
+let replay_domain_rows : (int * int * float * float * Json.t) list ref = ref []
+
+(* full ftsched/profile/v1 report per domain-scaling row, for --profile-json *)
+let replay_profile_reports : (int * Json.t) list ref = ref []
 let inject_estimates : (string * float) list ref = ref []
 
 (* (m, budget, evals, wall seconds) of one adversary search *)
@@ -852,8 +856,21 @@ let replay_bench ?(quick = false) () =
       [ "domains"; "wall"; "scenarios/s"; "scaling" ]
   in
   let wall1 = ref nan in
+  let attr =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [
+        "domains"; "busy s"; "steal-idle s"; "spawn/other s"; "minor words";
+        "gc min/maj";
+      ]
+  in
+  (* Each row runs under the phase profiler: per-domain eval wall and GC
+     plus worker busy/steal-idle go into the bench JSON, so the scaling
+     verdict ships with the evidence for it. *)
+  Obs.Prof.set_enabled true;
   List.iter
     (fun domains ->
+      Obs.Prof.reset ();
       let t0 = Obs_clock.now () in
       let report =
         Monte_carlo.run ~seed:3 ~runs ~domains ~crashes:2
@@ -861,10 +878,74 @@ let replay_bench ?(quick = false) () =
       in
       ignore (report : Monte_carlo.report);
       let wall = Obs_clock.now () -. t0 in
+      let prof = Obs.Prof.report () in
       if domains = 1 then wall1 := wall;
       let per_sec = float_of_int runs /. wall in
+      let eval_rows =
+        List.filter_map
+          (fun p ->
+            if p.Obs.Prof.ph_name <> "montecarlo.eval" then None
+            else
+              Some
+                (Json.Obj
+                   [
+                     ("domain", Json.Int p.Obs.Prof.ph_domain);
+                     ("calls", Json.Int p.Obs.Prof.ph_count);
+                     ("busy_s", Json.Float p.Obs.Prof.ph_wall_s);
+                     ("minor_words", Json.Float p.Obs.Prof.ph_minor_words);
+                     ("major_words", Json.Float p.Obs.Prof.ph_major_words);
+                     ( "minor_collections",
+                       Json.Int p.Obs.Prof.ph_minor_collections );
+                     ( "major_collections",
+                       Json.Int p.Obs.Prof.ph_major_collections );
+                   ]))
+          prof.Obs.Prof.r_phases
+      in
+      let worker_rows =
+        List.map
+          (fun w ->
+            Json.Obj
+              [
+                ("worker", Json.Int w.Obs.Prof.wk_worker);
+                ("items", Json.Int w.Obs.Prof.wk_items);
+                ("busy_s", Json.Float w.Obs.Prof.wk_busy_s);
+                ("steal_idle_s", Json.Float w.Obs.Prof.wk_idle_s);
+                ("steal_attempts", Json.Int w.Obs.Prof.wk_steal_attempts);
+              ])
+          prof.Obs.Prof.r_workers
+      in
+      let profile =
+        Json.Obj
+          [ ("eval", Json.List eval_rows); ("workers", Json.List worker_rows) ]
+      in
+      let busy = List.fold_left (fun a w -> a +. w.Obs.Prof.wk_busy_s) 0. prof.Obs.Prof.r_workers in
+      let idle = List.fold_left (fun a w -> a +. w.Obs.Prof.wk_idle_s) 0. prof.Obs.Prof.r_workers in
+      let minor, mincol, majcol =
+        List.fold_left
+          (fun (w', a, b) p ->
+            if p.Obs.Prof.ph_name = "montecarlo.eval" then
+              ( w' +. p.Obs.Prof.ph_minor_words,
+                a + p.Obs.Prof.ph_minor_collections,
+                b + p.Obs.Prof.ph_major_collections )
+            else (w', a, b))
+          (0., 0, 0) prof.Obs.Prof.r_phases
+      in
+      (* spawn/teardown and scheduling slack: wall not spent evaluating or
+         spinning in the steal loop, summed over all domains *)
+      let other = (float_of_int domains *. wall) -. busy -. idle in
+      Text_table.add_row attr
+        [
+          string_of_int domains;
+          Printf.sprintf "%.3f" busy;
+          Printf.sprintf "%.3f" idle;
+          Printf.sprintf "%.3f" (Float.max 0. other);
+          Printf.sprintf "%.0f" minor;
+          Printf.sprintf "%d/%d" mincol majcol;
+        ];
       replay_domain_rows :=
-        !replay_domain_rows @ [ (domains, runs, wall, per_sec) ];
+        !replay_domain_rows @ [ (domains, runs, wall, per_sec, profile) ];
+      replay_profile_reports :=
+        !replay_profile_reports @ [ (domains, Obs.Prof.to_json prof) ];
       Text_table.add_row t
         [
           string_of_int domains;
@@ -873,11 +954,19 @@ let replay_bench ?(quick = false) () =
           Printf.sprintf "%.2fx" (!wall1 /. wall);
         ])
     [ 1; 2; 4 ];
+  Obs.Prof.set_enabled false;
   Text_table.print t;
   print_endline
     "(same pre-drawn scenario set and byte-identical report for every \
      domain count;\n scaling above 1.0x needs more cores than domains — on \
      a single-core host the\n extra domains are pure spawn/GC overhead)";
+  print_newline ();
+  print_endline "=== where the wall time went (profiler attribution) ===";
+  Text_table.print attr;
+  print_endline
+    "(busy = summed per-worker eval time, steal-idle = time in the steal \
+     loop without\n an item, spawn/other = domains x wall minus both: domain \
+     startup, GC pauses and\n core oversubscription)";
   print_newline ()
 
 (* -- fault-plan microbench: degenerate crash path vs window engine ------ *)
@@ -973,9 +1062,42 @@ let inject_bench ?(quick = false) () =
 
 (* -- machine-readable summary ------------------------------------------ *)
 
+(* Previous contents of the bench JSON, for the rolling [history] field:
+   each regeneration prepends the old document (minus its own history) so
+   the last few runs travel with the file and benchdiff has in-file
+   context.  Capped to keep the file reviewable. *)
+let history_cap = 10
+
+let read_prev_doc path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic -> (
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Json.parse s with
+      | Ok (Json.Obj kvs as doc)
+        when Option.bind (Json.member "schema" doc) Json.to_str
+             = Some "ftsched/bench/v1" ->
+          let entry = Json.Obj (List.filter (fun (k, _) -> k <> "history") kvs) in
+          let prev_hist =
+            Json.member "history" doc |> Option.fold ~none:[] ~some:Json.to_list
+          in
+          Some (entry, prev_hist)
+      | _ -> None)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
 let write_bench_json path ~seed ~graphs ~domains =
   let opt_int = function None -> Json.Null | Some n -> Json.Int n in
   let float_or_null x = if Float.is_nan x then Json.Null else Json.Float x in
+  let history =
+    match read_prev_doc path with
+    | None -> []
+    | Some (entry, prev) -> take history_cap (entry :: prev)
+  in
   let json =
     Json.Obj
       [
@@ -988,6 +1110,7 @@ let write_bench_json path ~seed ~graphs ~domains =
               ("domains", opt_int domains);
               ( "recommended_domains",
                 Json.Int (Domain.recommended_domain_count ()) );
+              ("generated_at", Json.Float (Obs_clock.now ()));
             ] );
         ( "figures",
           Json.List
@@ -1053,13 +1176,14 @@ let write_bench_json path ~seed ~graphs ~domains =
         ( "replay_domains",
           Json.List
             (List.map
-               (fun (domains, runs, wall, per_sec) ->
+               (fun (domains, runs, wall, per_sec, profile) ->
                  Json.Obj
                    [
                      ("domains", Json.Int domains);
                      ("runs", Json.Int runs);
                      ("wall_seconds", Json.Float wall);
                      ("scenarios_per_sec", float_or_null per_sec);
+                     ("profile", profile);
                    ])
                !replay_domain_rows) );
         ( "inject",
@@ -1094,6 +1218,7 @@ let write_bench_json path ~seed ~graphs ~domains =
                   ("evals", Json.Int evals);
                   ("wall_seconds", Json.Float wall);
                 ] );
+        ("history", Json.List history);
       ]
   in
   let oc = open_out path in
@@ -1126,6 +1251,7 @@ let () =
   let quick = ref false in
   let all = ref true in
   let json = ref "BENCH_schedulers.json" in
+  let profile_json = ref "" in
   let speclist =
     [
       ( "--figure",
@@ -1181,6 +1307,10 @@ let () =
         Arg.Set_string json,
         "FILE  machine-readable summary (default BENCH_schedulers.json; \
          empty to skip)" );
+      ( "--profile-json",
+        Arg.Set_string profile_json,
+        "FILE  write the full per-row profiler reports of the replay \
+         domain-scaling bench (CI artifact)" );
     ]
   in
   Arg.parse speclist
@@ -1225,4 +1355,26 @@ let () =
     if !inject then inject_bench ~quick:!quick ()
   end;
   if !json <> "" then
-    write_bench_json !json ~seed:!seed ~graphs:!graphs ~domains:!domains
+    write_bench_json !json ~seed:!seed ~graphs:!graphs ~domains:!domains;
+  if !profile_json <> "" then begin
+    let doc =
+      Json.Obj
+        [
+          ("schema", Json.String "ftsched/profile-rows/v1");
+          ( "rows",
+            Json.List
+              (List.map
+                 (fun (domains, prof) ->
+                   Json.Obj [ ("domains", Json.Int domains); ("profile", prof) ])
+                 !replay_profile_reports) );
+        ]
+    in
+    let oc = open_out !profile_json in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string ~indent:2 doc);
+        output_char oc '\n');
+    Obs_log.info "wrote %s (%d profiled replay rows)" !profile_json
+      (List.length !replay_profile_reports)
+  end

@@ -163,6 +163,8 @@ type obs = {
   o_metrics : bool;
   o_metrics_format : [ `Text | `Json ];
   o_metrics_out : string option;
+  o_profile : bool;
+  o_profile_out : string option;
 }
 
 let obs_t =
@@ -193,10 +195,31 @@ let obs_t =
     Arg.(
       value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
   in
-  let mk o_trace o_metrics o_metrics_format o_metrics_out =
-    { o_trace; o_metrics; o_metrics_format; o_metrics_out }
+  let profile_t =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Profile the run: per-phase wall/self time, call counts and GC \
+             deltas attributed per domain, plus parallel worker busy/steal \
+             telemetry, printed as a table after the command output.")
   in
-  Term.(const mk $ trace_t $ metrics_t $ metrics_format_t $ metrics_out_t)
+  let profile_out_t =
+    let doc =
+      "Write the profile report as JSON (ftsched/profile/v1) to $(docv); \
+       implies $(b,--profile) without the text table."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+  in
+  let mk o_trace o_metrics o_metrics_format o_metrics_out o_profile
+      o_profile_out =
+    { o_trace; o_metrics; o_metrics_format; o_metrics_out; o_profile;
+      o_profile_out }
+  in
+  Term.(
+    const mk $ trace_t $ metrics_t $ metrics_format_t $ metrics_out_t
+    $ profile_t $ profile_out_t)
 
 let write_file path s =
   let oc = open_out path in
@@ -208,10 +231,27 @@ let write_file path s =
    dumps both afterwards.  The body returns its exit code (instead of
    calling [exit]) so failure paths still get their dumps. *)
 let with_obs obs f =
+  let profiling = obs.o_profile || obs.o_profile_out <> None in
   if obs.o_metrics then Obs.Metrics.set_enabled true;
+  if profiling then begin
+    Obs.Prof.reset ();
+    Obs.Prof.set_enabled true
+  end;
+  (* Arm the exit-time flush before starting: an [exit code] below (or a
+     crash mid-run) still leaves a loadable trace. *)
+  Option.iter Obs.Trace.set_output obs.o_trace;
   if obs.o_trace <> None then Obs.Trace.start ();
   let code = f () in
   Option.iter Obs.Trace.write obs.o_trace;
+  if profiling then begin
+    let r = Obs.Prof.report () in
+    Obs.Prof.set_enabled false;
+    (match obs.o_profile_out with
+    | Some path -> write_file path (Json.to_string (Obs.Prof.to_json r) ^ "\n")
+    | None -> ());
+    if obs.o_profile then
+      print_string (Text_table.to_string (Obs.Prof.to_table r) ^ "\n")
+  end;
   if obs.o_metrics then begin
     let dump =
       match obs.o_metrics_format with
@@ -865,6 +905,71 @@ let campaign_cmd =
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Regenerate one of the paper's figures") term
 
+(* -- benchdiff ---------------------------------------------------------- *)
+
+let benchdiff_cmd =
+  let old_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline bench JSON (ftsched/bench/v1).")
+  in
+  let new_t =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate bench JSON to compare.")
+  in
+  let threshold_t =
+    Arg.(
+      value & opt float 20.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Regression threshold in percent: a metric that got worse by at \
+             least $(docv)%% fails the diff.")
+  in
+  let advisory_t =
+    Arg.(
+      value & flag
+      & info [ "advisory" ]
+          ~doc:
+            "Report regressions but exit 0 anyway — for CI steps that should \
+             warn, not gate.")
+  in
+  let read_doc path =
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse s with
+    | Ok j -> Ok j
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  in
+  let run old_path new_path threshold advisory =
+    match (read_doc old_path, read_doc new_path) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok old_doc, Ok new_doc ->
+        let r =
+          Bench_compare.compare_docs ~threshold_pct:threshold old_doc new_doc
+        in
+        Text_table.print (Bench_compare.to_table r);
+        print_endline (Bench_compare.summary r);
+        if Bench_compare.regressions r <> [] && not advisory then exit 1
+  in
+  let term =
+    Term.(const run $ old_t $ new_t $ threshold_t $ advisory_t)
+  in
+  Cmd.v
+    (Cmd.info "benchdiff"
+       ~doc:
+         "Diff two bench JSON reports and fail on throughput/latency \
+          regressions beyond a threshold")
+    term
+
 let () =
   let info =
     Cmd.info "ftsched" ~version:"1.0.0"
@@ -874,4 +979,5 @@ let () =
        [
          schedule_cmd; crash_cmd; check_cmd; analyze_cmd; inspect_cmd;
          montecarlo_cmd; stress_cmd; topology_cmd; campaign_cmd;
+         benchdiff_cmd;
        ]))

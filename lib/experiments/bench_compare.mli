@@ -1,0 +1,40 @@
+(** Regression diff between two [ftsched/bench/v1] documents.
+
+    Backs [ftsched benchdiff OLD NEW]: the committed
+    [BENCH_schedulers.json] is the baseline, a fresh quick-bench run is
+    the candidate, and a change beyond the threshold in a metric's bad
+    direction (slower ns/op, fewer scenarios/s) is a regression.  Only
+    keys present in both documents are compared, so the diff is robust
+    to benches that were skipped on one side ([--quick], machine
+    class). *)
+
+type direction = Higher_better | Lower_better
+
+type entry = {
+  e_key : string;  (** e.g. ["replay/m=50 compiled_ns_per_scenario"] *)
+  e_old : float;
+  e_new : float;
+  e_change_pct : float;
+      (** signed, in the metric's bad direction: positive = got worse *)
+  e_direction : direction;
+}
+
+type result = {
+  c_threshold_pct : float;
+  c_entries : entry list;  (** keys present on both sides, in old order *)
+  c_only_old : string list;
+  c_only_new : string list;
+}
+
+val compare_docs : threshold_pct:float -> Json.t -> Json.t -> result
+
+val regressions : result -> entry list
+(** Entries at or beyond the threshold in the bad direction. *)
+
+val improvements : result -> entry list
+
+val to_table : result -> Text_table.t
+(** [metric | old | new | change | verdict] rows. *)
+
+val summary : result -> string
+(** One-line verdict count for logs and CI step output. *)

@@ -283,6 +283,9 @@ let run ?(seed = 2008) ?(progress = Obs_log.progress) ?domains ?checkpoint
           ])
         "point"
         (fun () ->
+          (* the trace span above already carries figure/granularity args;
+             the phase only adds profiler attribution *)
+          Obs_prof.phase ~trace:false "campaign.point" @@ fun () ->
           Parallel.map ?domains
             (measure_instance ~epsilon ~granularity)
             instances)

@@ -2,3 +2,4 @@ module Clock = Obs_clock
 module Metrics = Obs_metrics
 module Trace = Obs_trace
 module Log = Obs_log
+module Prof = Obs_prof

@@ -12,10 +12,22 @@
     [FTSCHED_METRICS] environment variable to anything but [0] or
     [false].
 
-    Domain safety: counters and gauges are atomics; histograms take a
-    per-histogram mutex.  Registration is idempotent — re-registering a
-    name returns the existing metric — and raises [Invalid_argument] only
-    if the name is reused with a different kind. *)
+    Domain safety: the registry is sharded per domain.  A handle is a
+    stable slot id; every domain records into plain (non-atomic) cells of
+    its own DLS-local shard, so hot-path increments perform no shared-
+    memory synchronization at all — no mutex, no CAS, no shared cache
+    line.  Readers ({!dump}, {!find}, {!to_json}) aggregate across shards
+    on demand; shards of terminated domains are folded into a retained
+    base before [Domain.join] returns, so post-join reads are exact (see
+    DESIGN.md, "Sharded metrics").  Registration is idempotent —
+    re-registering a name returns the existing metric — and raises
+    [Invalid_argument] only if the name is reused with a different kind.
+
+    Gauge semantics under sharding: {!add} accumulates shard-locally and
+    aggregates as the sum over domains; {!set} records a global
+    last-write-wins value.  A gauge should use one or the other (every
+    gauge in the tree does); mixing them reads as last [set] plus all
+    [add]s. *)
 
 type counter
 type gauge
@@ -75,7 +87,12 @@ val find : string -> value option
 (** Current value of one metric by name. *)
 
 val reset : unit -> unit
-(** Zero every value; the registry itself (names, buckets) survives. *)
+(** Zero every value across every shard; the registry itself (names,
+    buckets, slot ids) survives. *)
+
+val shard_count : unit -> int
+(** Number of live per-domain shards (terminated domains' shards have
+    been folded away).  Diagnostic; used by the sharding tests. *)
 
 val to_table : unit -> Text_table.t
 (** [metric | kind | value] rows, histogram values summarized inline. *)

@@ -17,6 +17,14 @@ let enabled_flag = Atomic.make false
 let origin_us = ref 0.
 let events : event list ref = ref []  (* reverse chronological *)
 
+(* Exit-time flush: a CLI run that exits (or dies) without reaching its
+   explicit [write] would otherwise lose the whole buffer.  [set_output]
+   arms a process [at_exit] hook once; an explicit [write] to the armed
+   path disarms it so the trace is not written twice. *)
+let output_path = ref None
+let output_written = ref false
+let at_exit_armed = ref false
+
 let enabled () = Atomic.get enabled_flag
 
 let clear () =
@@ -31,7 +39,13 @@ let start () =
   Mutex.unlock mutex;
   Atomic.set enabled_flag true
 
-let stop () = Atomic.set enabled_flag false
+(* Take the buffer mutex before returning: any [record] already past its
+   enabled check finishes appending first, so a flush that follows [stop]
+   on this domain cannot lose an event that was mid-emission. *)
+let stop () =
+  Atomic.set enabled_flag false;
+  Mutex.lock mutex;
+  Mutex.unlock mutex
 
 let record ev =
   Mutex.lock mutex;
@@ -129,4 +143,30 @@ let write path =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc (Json.to_string (to_json ()));
-      output_char oc '\n')
+      output_char oc '\n');
+  Mutex.lock mutex;
+  if !output_path = Some path then output_written := true;
+  Mutex.unlock mutex
+
+let set_output path =
+  Mutex.lock mutex;
+  output_path := Some path;
+  output_written := false;
+  let arm = not !at_exit_armed in
+  at_exit_armed := true;
+  Mutex.unlock mutex;
+  if arm then
+    at_exit (fun () ->
+        let pending =
+          Mutex.lock mutex;
+          let p =
+            match (!output_path, !output_written) with
+            | Some p, false -> Some p
+            | _ -> None
+          in
+          Mutex.unlock mutex;
+          p
+        in
+        match pending with
+        | Some p -> ( try write p with Sys_error _ -> ())
+        | None -> ())

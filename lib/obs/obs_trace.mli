@@ -14,7 +14,19 @@ val start : unit -> unit
 (** Clear the buffer, re-zero the clock origin and start recording. *)
 
 val stop : unit -> unit
+(** Stop recording.  Returns only after any span already past its enabled
+    check has finished appending, so a flush that follows [stop] sees
+    every event that was mid-emission — nothing is dropped at the
+    stop/flush boundary. *)
+
 val enabled : unit -> bool
+
+val set_output : string -> unit
+(** Arm an exit-time flush: if the process exits (normally or via [exit]
+    anywhere) before {!write} was called on this path, an [at_exit] hook
+    writes the buffer there, so a CLI run that never reaches its explicit
+    write still leaves a loadable trace instead of a truncated one.  An
+    explicit {!write} to the same path disarms the hook for that run. *)
 
 val with_span :
   ?cat:string ->

@@ -135,6 +135,7 @@ let check ?(max_exhaustive = 20000) ?(samples = 1000) ?(seed = 7)
     let shards = max 1 (min domains total) in
     let bounds = Array.init (shards + 1) (fun i -> total * i / shards) in
     let run_shard i =
+      Obs_prof.phase ~trace:false "check.shard" @@ fun () ->
       let start = bounds.(i) and stop = bounds.(i + 1) in
       let c, crash_time = Domain.DLS.get sim in
       let idx = subset_at_rank ~n:m ~k:epsilon start in
@@ -199,6 +200,7 @@ let check ?(max_exhaustive = 20000) ?(samples = 1000) ?(seed = 7)
           results
   end
   else begin
+    Obs_prof.phase ~cat:"sim" "check.sample" @@ fun () ->
     let rng = Rng.create seed in
     let c, crash_time = Domain.DLS.get sim in
     let i = ref 0 in

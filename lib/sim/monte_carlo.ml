@@ -36,18 +36,19 @@ let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?fabric ~crashes ~mode sched
      run whatever [domains] is.  A from-start crash is a timed crash at
      [neg_infinity], so both modes share one representation. *)
   let scenarios = ref [] in
-  for _ = 1 to runs do
-    Obs_metrics.incr m_scenarios;
-    let scenario =
-      match mode with
-      | From_start ->
-          List.map
-            (fun p -> (p, neg_infinity))
-            (Scenario.uniform_procs rng ~m ~count:crashes)
-      | Timed horizon -> Scenario.timed rng ~m ~count:crashes ~horizon
-    in
-    scenarios := scenario :: !scenarios
-  done;
+  Obs_prof.phase ~cat:"sim" "montecarlo.draw" (fun () ->
+      for _ = 1 to runs do
+        Obs_metrics.incr m_scenarios;
+        let scenario =
+          match mode with
+          | From_start ->
+              List.map
+                (fun p -> (p, neg_infinity))
+                (Scenario.uniform_procs rng ~m ~count:crashes)
+          | Timed horizon -> Scenario.timed rng ~m ~count:crashes ~horizon
+        in
+        scenarios := scenario :: !scenarios
+      done);
   let scenarios = List.rev !scenarios in
   (* One compiled simulator + crash-time scratch per domain: a [compiled]
      value owns its arena and must not be shared. *)
@@ -61,6 +62,9 @@ let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?fabric ~crashes ~mode sched
      to the historical reports. *)
   let beyond = crashes > Schedule.epsilon sched in
   let eval_one scenario =
+    (* profiled but untraced: one span per scenario would drown the
+       timeline that the [point]/[replay] spans already structure *)
+    Obs_prof.phase ~trace:false "montecarlo.eval" @@ fun () ->
     let c, crash_time = Domain.DLS.get sim in
     Array.fill crash_time 0 m infinity;
     List.iter
@@ -82,6 +86,7 @@ let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?fabric ~crashes ~mode sched
   if dt > 0. then Obs_metrics.set g_throughput (float_of_int runs /. dt);
   (* Aggregate in run order so the Kahan sums in [Stats.summarize] see
      the same list (hence the same rounding) as the sequential loop. *)
+  Obs_prof.phase ~cat:"sim" "montecarlo.aggregate" @@ fun () ->
   let latencies = ref [] in
   let completed = ref 0 in
   List.iter

@@ -36,7 +36,7 @@ type msg_state = { mutable m_delivered : float (* arrival, or infinity if dead *
 
 let reference ?fabric ?(dead_links = []) sched ~crash_time =
   Obs_metrics.incr m_replays;
-  Obs_trace.with_span ~cat:"sim" "replay" @@ fun () ->
+  Obs_prof.phase ~cat:"sim" "replay" @@ fun () ->
   let dag = Schedule.dag sched in
   let platform = Schedule.platform sched in
   let model = Schedule.model sched in
@@ -457,7 +457,7 @@ let proc_count c = c.c_m
 
 let compile ?fabric sched =
   Obs_metrics.incr m_compiles;
-  Obs_trace.with_span ~cat:"sim" "replay.compile" @@ fun () ->
+  Obs_prof.phase ~cat:"sim" "replay.compile" @@ fun () ->
   let dag = Schedule.dag sched in
   let platform = Schedule.platform sched in
   let model = Schedule.model sched in
@@ -1004,7 +1004,7 @@ let collect_outcome c =
   }
 
 let eval ?(dead_links = []) c ~crash_time =
-  Obs_trace.with_span ~cat:"sim" "replay.eval" @@ fun () ->
+  Obs_prof.phase ~cat:"sim" "replay.eval" @@ fun () ->
   eval_core c ~crash_time ~dead_links;
   collect_outcome c
 
@@ -1379,7 +1379,7 @@ let run_plan_core ?(dead_links = []) c plan =
                     else None)
                   outages)
          done);
-    Obs_trace.with_span ~cat:"sim" "replay.eval_plan" @@ fun () ->
+    Obs_prof.phase ~cat:"sim" "replay.eval_plan" @@ fun () ->
     eval_plan_core c ~down ~never_up ~msg_down ~lost ~dead_links
   end
 

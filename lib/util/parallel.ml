@@ -1,24 +1,80 @@
 let available_domains () = Domain.recommended_domain_count ()
 
-let map ?domains f xs =
-  let domains =
-    match domains with Some d -> max 1 d | None -> available_domains ()
+(* -- work-stealing telemetry -------------------------------------------- *)
+
+type worker_stats = {
+  ws_worker : int;
+  ws_items : int;
+  ws_busy_s : float;
+  ws_idle_s : float;
+  ws_steal_attempts : int;
+}
+
+type map_stats = {
+  ms_items : int;
+  ms_domains : int;
+  ms_wall_s : float;
+  ms_workers : worker_stats list;
+}
+
+(* The monitor is observability's window into the work-stealing loop: the
+   obs layer installs a callback here (util cannot depend on obs).  When
+   unset, [map] runs the uninstrumented loop — no clock reads per item. *)
+let monitor : (map_stats -> unit) option Atomic.t = Atomic.make None
+let set_monitor cb = Atomic.set monitor cb
+let now = Unix.gettimeofday
+
+let plain_map domains f xs n =
+  let arr = Array.of_list xs in
+  let results = Array.make n None in
+  (* Work stealing over an atomic index: every worker claims the next
+     unprocessed item, so a slow item delays only itself instead of
+     stalling the rest of a pre-assigned contiguous chunk.  Each index
+     is claimed exactly once; the join synchronizes the writes. *)
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (f arr.(i));
+        loop ()
+      end
+    in
+    try
+      loop ();
+      None
+    with exn -> Some exn
   in
-  let n = List.length xs in
-  if domains <= 1 || n <= 1 then List.map f xs
-  else begin
-    let arr = Array.of_list xs in
-    let results = Array.make n None in
-    (* Work stealing over an atomic index: every worker claims the next
-       unprocessed item, so a slow item delays only itself instead of
-       stalling the rest of a pre-assigned contiguous chunk.  Each index
-       is claimed exactly once; the join synchronizes the writes. *)
-    let next = Atomic.make 0 in
-    let worker () =
+  (* run one worker on the current domain, the rest on spawned ones *)
+  let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
+  let first = worker () in
+  let rest = List.map Domain.join spawned in
+  (match List.find_opt Option.is_some (first :: rest) with
+  | Some (Some exn) -> raise exn
+  | _ -> ());
+  Array.to_list
+    (Array.map (function Some v -> v | None -> assert false) results)
+
+(* Same claim loop with two clock reads per item; only runs when a
+   monitor is installed, so the common path stays clock-free. *)
+let monitored_map report domains f xs n =
+  let arr = Array.of_list xs in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let workers = min domains n in
+  let stats = Array.make workers None in
+  let worker slot () =
+    let t_start = now () in
+    let busy = ref 0. and items = ref 0 and attempts = ref 0 in
+    let outcome =
       let rec loop () =
+        incr attempts;
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          let t0 = now () in
           results.(i) <- Some (f arr.(i));
+          busy := !busy +. (now () -. t0);
+          incr items;
           loop ()
         end
       in
@@ -27,13 +83,76 @@ let map ?domains f xs =
         None
       with exn -> Some exn
     in
-    (* run one worker on the current domain, the rest on spawned ones *)
-    let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
-    let first = worker () in
-    let rest = List.map Domain.join spawned in
-    (match List.find_opt Option.is_some (first :: rest) with
-    | Some (Some exn) -> raise exn
-    | _ -> ());
-    Array.to_list
-      (Array.map (function Some v -> v | None -> assert false) results)
-  end
+    let wall = now () -. t_start in
+    stats.(slot) <-
+      Some
+        {
+          ws_worker = slot;
+          ws_items = !items;
+          ws_busy_s = !busy;
+          ws_idle_s = Float.max 0. (wall -. !busy);
+          ws_steal_attempts = !attempts;
+        };
+    outcome
+  in
+  let t_begin = now () in
+  let spawned =
+    List.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  in
+  let first = worker 0 () in
+  let rest = List.map Domain.join spawned in
+  report
+    {
+      ms_items = n;
+      ms_domains = workers;
+      ms_wall_s = now () -. t_begin;
+      ms_workers = List.filter_map Fun.id (Array.to_list stats);
+    };
+  (match List.find_opt Option.is_some (first :: rest) with
+  | Some (Some exn) -> raise exn
+  | _ -> ());
+  Array.to_list
+    (Array.map (function Some v -> v | None -> assert false) results)
+
+let monitored_sequential report f xs n =
+  let t_begin = now () in
+  let busy = ref 0. in
+  let results =
+    List.map
+      (fun x ->
+        let t0 = now () in
+        let y = f x in
+        busy := !busy +. (now () -. t0);
+        y)
+      xs
+  in
+  let wall = now () -. t_begin in
+  report
+    {
+      ms_items = n;
+      ms_domains = 1;
+      ms_wall_s = wall;
+      ms_workers =
+        [
+          {
+            ws_worker = 0;
+            ws_items = n;
+            ws_busy_s = !busy;
+            ws_idle_s = Float.max 0. (wall -. !busy);
+            ws_steal_attempts = n;
+          };
+        ];
+    };
+  results
+
+let map ?domains f xs =
+  let domains =
+    match domains with Some d -> max 1 d | None -> available_domains ()
+  in
+  let n = List.length xs in
+  match Atomic.get monitor with
+  | None ->
+      if domains <= 1 || n <= 1 then List.map f xs else plain_map domains f xs n
+  | Some report ->
+      if domains <= 1 || n <= 1 then monitored_sequential report f xs n
+      else monitored_map report domains f xs n

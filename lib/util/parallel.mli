@@ -19,3 +19,34 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     state.  If some application of [f] raises, one such exception is
     re-raised after all domains joined (items not yet claimed when a
     worker dies are still computed by the surviving workers). *)
+
+(** {1 Work-stealing telemetry}
+
+    Per-worker accounting of one [map] call, reported to the installed
+    {!set_monitor} callback.  Worker [0] is the calling domain; workers
+    [1..] are the spawned ones.  [ws_busy_s] is wall time spent inside
+    [f]; [ws_idle_s] is the rest of the worker's loop (claim contention,
+    spawn skew, scheduler preemption); [ws_steal_attempts] counts claims
+    on the shared index including the final failed one. *)
+
+type worker_stats = {
+  ws_worker : int;
+  ws_items : int;
+  ws_busy_s : float;
+  ws_idle_s : float;
+  ws_steal_attempts : int;
+}
+
+type map_stats = {
+  ms_items : int;
+  ms_domains : int;  (** workers actually used, after clamping *)
+  ms_wall_s : float;
+  ms_workers : worker_stats list;
+}
+
+val set_monitor : (map_stats -> unit) option -> unit
+(** Install (or clear) the telemetry callback.  With no monitor installed
+    — the default — [map] runs an uninstrumented loop with no clock reads
+    per item.  The callback runs on the calling domain after all workers
+    joined, before [map] returns or re-raises.  The obs layer's profiler
+    is the intended installer; last install wins. *)

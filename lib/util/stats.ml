@@ -102,6 +102,25 @@ module Acc = struct
   let count t = t.count
   let mean t = if t.count = 0 then nan else t.mean
 
+  (* Chan et al. parallel variance combination.  Exact when one side is
+     empty, so folding a single shard into a fresh accumulator preserves
+     the sequential result bit for bit. *)
+  let merge a b =
+    if a.count = 0 then { b with count = b.count }
+    else if b.count = 0 then { a with count = a.count }
+    else begin
+      let na = float_of_int a.count and nb = float_of_int b.count in
+      let n = na +. nb in
+      let delta = b.mean -. a.mean in
+      {
+        count = a.count + b.count;
+        mean = a.mean +. (delta *. (nb /. n));
+        m2 = a.m2 +. b.m2 +. (delta *. delta *. (na *. nb /. n));
+        min = Float.min a.min b.min;
+        max = Float.max a.max b.max;
+      }
+    end
+
   let stddev t =
     if t.count < 2 then 0. else sqrt (t.m2 /. float_of_int (t.count - 1))
 

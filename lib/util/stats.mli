@@ -52,6 +52,12 @@ module Acc : sig
 
   val create : unit -> t
   val add : t -> float -> unit
+
+  val merge : t -> t -> t
+  (** Combine two accumulators as if every sample had been [add]ed to one
+      (Chan et al. pairwise update).  Exact when either side is empty;
+      used to aggregate per-domain histogram shards. *)
+
   val count : t -> int
   val mean : t -> float
   val stddev : t -> float

@@ -123,6 +123,13 @@ counter matches the schedule summary:
   net.messages.local         counter    22
   net.messages.remote        counter    16
 
+The dump is deterministically sorted by metric name, so diffs of saved
+dumps are stable across runs and shard counts:
+
+  $ ftsched schedule --seed 2 --tasks 10 -m 4 --epsilon 1 --metrics --metrics-out m.txt > /dev/null
+  $ tail -n +3 m.txt | awk 'NF {print $1}' | sort -C && echo sorted
+  sorted
+
 The same dump is available as machine-readable JSON:
 
   $ ftsched schedule --seed 2 --tasks 10 -m 4 --epsilon 1 --metrics --metrics-format json --metrics-out metrics.json
@@ -141,6 +148,39 @@ The same dump is available as machine-readable JSON:
   1
   $ grep -o '"name":"place"' trace.json | wc -l | tr -d ' '
   10
+
+--profile attributes wall time, calls and GC to phases per domain and
+prints the table after the run; --profile-out writes the same report as
+JSON (schema ftsched/profile/v1):
+
+  $ ftsched montecarlo --seed 2 --tasks 10 -m 4 --epsilon 1 --crashes 1 --runs 50 --profile --profile-out prof.json > /dev/null
+  $ grep -o '"schema":"[^"]*"' prof.json
+  "schema":"ftsched/profile/v1"
+  $ ftsched montecarlo --seed 2 --tasks 10 -m 4 --epsilon 1 --crashes 1 --runs 50 --profile | awk '{print $1}' | grep -c 'montecarlo.eval'
+  1
+
+benchdiff compares two bench JSON reports and fails on regressions
+beyond the threshold (20% by default).  A 30% throughput drop on the
+replay domain-scaling row is a regression; --advisory reports it but
+exits 0:
+
+  $ cat > bench_old.json <<'EOF'
+  > {"schema":"ftsched/bench/v1",
+  >  "replay":[{"m":50,"rebuild_ns_per_scenario":1000000.0,"compiled_ns_per_scenario":60000.0}],
+  >  "replay_domains":[{"domains":1,"runs":2000,"scenarios_per_sec":5000.0}]}
+  > EOF
+  $ sed -e 's/5000\.0/3500.0/' bench_old.json > bench_new.json
+  $ ftsched benchdiff bench_old.json bench_new.json
+  metric                                            old        new  change     verdict
+  ------------------------------------------  ---------  ---------  ------  ----------
+  replay/m=50 rebuild_ns_per_scenario         1000000.0  1000000.0   +0.0%          ok
+  replay/m=50 compiled_ns_per_scenario          60000.0    60000.0   +0.0%          ok
+  replay_domains/domains=1 scenarios_per_sec     5000.0     3500.0  +30.0%  REGRESSION
+  3 metric(s) compared, 1 regression(s) beyond 20%, 0 improvement(s)
+  [1]
+  $ ftsched benchdiff --advisory bench_old.json bench_new.json > /dev/null
+  $ ftsched benchdiff bench_old.json bench_old.json > /dev/null
+  $ ftsched benchdiff --threshold 50 bench_old.json bench_new.json > /dev/null
 
 Adversarial fault injection: the worst within-epsilon plan, the minimal
 kill set cross-checked against the resistance certificate, and the

@@ -195,6 +195,130 @@ let test_parallel_registry () =
       | _ -> Alcotest.fail "histogram not found");
       ignore c)
 
+(* -- sharded registry --------------------------------------------------- *)
+
+let test_sharded_exact_totals () =
+  (* 4-domain stress: exact totals across counter, gauge-add and histogram
+     despite every worker recording into its own shard *)
+  with_metrics (fun () ->
+      let c = Obs_metrics.counter "test.shard_exact" in
+      let g = Obs_metrics.gauge "test.shard_gauge" in
+      let h = Obs_metrics.histogram "test.shard_hist" in
+      let items = List.init 64 Fun.id in
+      let _ =
+        Parallel.map ~domains:4
+          (fun i ->
+            for _ = 1 to 1000 do
+              Obs_metrics.incr c
+            done;
+            Obs_metrics.add g 0.5;
+            Obs_metrics.observe h (float_of_int (i mod 7));
+            i)
+          items
+      in
+      Helpers.check_int "counter exact" 64_000 (counter_value "test.shard_exact");
+      (match Obs_metrics.find "test.shard_gauge" with
+      | Some (Obs_metrics.Gauge v) ->
+          Alcotest.(check (float 1e-9)) "gauge adds sum across shards" 32.0 v
+      | _ -> Alcotest.fail "gauge not found");
+      match Obs_metrics.find "test.shard_hist" with
+      | Some (Obs_metrics.Histogram s) ->
+          Helpers.check_int "histogram count exact" 64 s.Obs_metrics.hs_count;
+          (* mean of (i mod 7) over 0..63: 64 obs, sum = 9*(0+..+6) + 0 =
+             189 + (0+..+0)... compute directly *)
+          let expect =
+            List.fold_left (fun a i -> a +. float_of_int (i mod 7)) 0. items
+            /. 64.
+          in
+          Alcotest.(check (float 1e-9)) "histogram mean exact" expect
+            s.Obs_metrics.hs_mean
+      | _ -> Alcotest.fail "histogram not found")
+
+let test_shard_vs_global_single_domain () =
+  (* a single-domain run must aggregate to exactly what the sequential
+     accumulator would produce — one shard, empty-merge path *)
+  with_metrics (fun () ->
+      let h = Obs_metrics.histogram "test.shard_single" in
+      List.iter (Obs_metrics.observe h) [ 1.0; 2.5; 52.0 ];
+      match Obs_metrics.find "test.shard_single" with
+      | Some (Obs_metrics.Histogram s) ->
+          Helpers.check_int "count" 3 s.Obs_metrics.hs_count;
+          Alcotest.(check (float 1e-12)) "mean bit-exact" (55.5 /. 3.)
+            s.Obs_metrics.hs_mean;
+          Alcotest.(check (float 1e-12)) "min" 1.0 s.Obs_metrics.hs_min;
+          Alcotest.(check (float 1e-12)) "max" 52.0 s.Obs_metrics.hs_max
+      | _ -> Alcotest.fail "histogram not found")
+
+let test_suppressed_scoped_per_domain () =
+  (* [suppressed] mutes only the calling domain's shard: workers that are
+     not suppressed keep recording concurrently *)
+  with_metrics (fun () ->
+      let c = Obs_metrics.counter "test.shard_suppress" in
+      let _ =
+        Parallel.map ~domains:3
+          (fun i ->
+            if i = 0 then
+              (* this worker mutes itself; its increments must vanish *)
+              Obs_metrics.suppressed (fun () ->
+                  for _ = 1 to 500 do
+                    Obs_metrics.incr c
+                  done)
+            else
+              for _ = 1 to 100 do
+                Obs_metrics.incr c
+              done;
+            i)
+          (List.init 12 Fun.id)
+      in
+      (* 11 unsuppressed items x 100 *)
+      Helpers.check_int "suppression scoped to its domain" 1_100
+        (counter_value "test.shard_suppress"))
+
+let test_shard_count_bounded () =
+  (* shards of joined domains are folded into the retired base: campaigns
+     of many Parallel.map calls must not leak a shard per spawned domain *)
+  with_metrics (fun () ->
+      let c = Obs_metrics.counter "test.shard_bound" in
+      for _ = 1 to 5 do
+        ignore
+          (Parallel.map ~domains:4 (fun i -> Obs_metrics.incr c; i)
+             (List.init 8 Fun.id))
+      done;
+      Helpers.check_int "all increments survive the folds" 40
+        (counter_value "test.shard_bound");
+      (* only live domains hold shards now — just this one *)
+      Alcotest.(check bool) "shards bounded by live domains" true
+        (Obs_metrics.shard_count () <= 2))
+
+let test_dump_sorted () =
+  let _ = Obs_metrics.counter "test.zz_sort" in
+  let _ = Obs_metrics.counter "test.aa_sort" in
+  let names = List.map (fun (n, _, _) -> n) (Obs_metrics.dump ()) in
+  let sorted = List.sort compare names in
+  Alcotest.(check (list string)) "dump sorted by name" sorted names
+
+(* -- trace lifecycle ---------------------------------------------------- *)
+
+let test_trace_stop_concurrent_spans () =
+  (* spans racing [stop] must either land in the buffer or be dropped
+     whole — never crash, and a post-stop flush sees a stable count *)
+  Obs_trace.start ();
+  let _ =
+    Parallel.map ~domains:3
+      (fun i ->
+        for j = 0 to 50 do
+          Obs_trace.with_span "race" (fun () -> ignore (i * j))
+        done;
+        if i = 5 then Obs_trace.stop ();
+        i)
+      (List.init 12 Fun.id)
+  in
+  Obs_trace.stop ();
+  let n1 = Obs_trace.event_count () in
+  let n2 = Obs_trace.event_count () in
+  Helpers.check_int "count stable after stop" n1 n2;
+  Obs_trace.clear ()
+
 (* -- monte-carlo pretty-printer ----------------------------------------- *)
 
 let test_montecarlo_pp_nan () =
@@ -226,5 +350,16 @@ let suite =
       test_counter_invariants_random;
     Alcotest.test_case "trace JSON round-trip" `Quick test_trace_roundtrip;
     Alcotest.test_case "parallel registry" `Quick test_parallel_registry;
+    Alcotest.test_case "sharded exact totals (4 domains)" `Quick
+      test_sharded_exact_totals;
+    Alcotest.test_case "single-domain aggregation bit-exact" `Quick
+      test_shard_vs_global_single_domain;
+    Alcotest.test_case "suppressed scoped per domain" `Quick
+      test_suppressed_scoped_per_domain;
+    Alcotest.test_case "shard count bounded after joins" `Quick
+      test_shard_count_bounded;
+    Alcotest.test_case "dump sorted by name" `Quick test_dump_sorted;
+    Alcotest.test_case "concurrent spans across stop" `Quick
+      test_trace_stop_concurrent_spans;
     Alcotest.test_case "montecarlo pp nan" `Quick test_montecarlo_pp_nan;
   ]
