@@ -19,9 +19,11 @@ let bechamel_estimates : (string * float) list ref = ref []
 let placement_estimates : (string * float) list ref = ref []
 let replay_estimates : (string * float) list ref = ref []
 
-(* (domains, runs, wall seconds, scenarios per second) *)
-(* (domains, runs, wall seconds, scenarios/s, profile sub-object) *)
-let replay_domain_rows : (int * int * float * float * Json.t) list ref = ref []
+(* (domains, runs, eval_batch blocks, pool-spawn s, wall s, scenarios/s,
+   profile sub-object) *)
+let replay_domain_rows :
+    (int * int * int * float * float * float * Json.t) list ref =
+  ref []
 
 (* full ftsched/profile/v1 report per domain-scaling row, for --profile-json *)
 let replay_profile_reports : (int * Json.t) list ref = ref []
@@ -785,9 +787,17 @@ let replay_case m =
     Array.init m (fun p -> if p < 2 then neg_infinity else infinity)
   in
   let compiled = Replay.compile sched in
+  (* one engine, one block: the batched row reuses the same compiled
+     simulator across the whole bechamel run, so it prices only the
+     struct-of-arrays inner loop (no per-call compile, no per-scenario
+     dispatch) *)
+  let block =
+    Array.make Monte_carlo.batch_block (Scenario.of_crash_times crash_time)
+  in
   let rebuild () = Replay.reference sched ~crash_time in
   let compiled_eval () = Replay.eval_latency compiled ~crash_time in
-  (sched, rebuild, compiled_eval)
+  let batched_eval () = Replay.eval_batch compiled block in
+  (sched, rebuild, compiled_eval, batched_eval)
 
 let replay_ms = [ 10; 25; 50 ]
 
@@ -800,10 +810,12 @@ let replay_bench ?(quick = false) () =
   let tests =
     Test.make_grouped ~name:"replay"
       (List.concat_map
-         (fun (m, (_, rebuild, compiled_eval)) ->
+         (fun (m, (_, rebuild, compiled_eval, batched_eval)) ->
            [
              test (Printf.sprintf "rebuild/m=%03d" m) rebuild;
              test (Printf.sprintf "compiled/m=%03d" m) compiled_eval;
+             (* one estimate = one whole [batch_block]-scenario block *)
+             test (Printf.sprintf "batched/m=%03d" m) batched_eval;
            ])
          scheds)
   in
@@ -820,40 +832,58 @@ let replay_bench ?(quick = false) () =
   let t =
     Text_table.create
       ~aligns:[ Text_table.Left ]
-      [ "m"; "rebuild/scenario"; "compiled/scenario"; "speedup" ]
+      [
+        "m";
+        "rebuild/scenario";
+        "compiled/scenario";
+        "batched/scenario";
+        "vs rebuild";
+        "vs compiled";
+      ]
   in
   List.iter
     (fun m ->
       let rebuild_ns = find "rebuild" m and compiled_ns = find "compiled" m in
+      let batched_ns =
+        find "batched" m /. float_of_int Monte_carlo.batch_block
+      in
       Text_table.add_row t
         [
           string_of_int m;
           Printf.sprintf "%.2f us" (rebuild_ns /. 1e3);
           Printf.sprintf "%.2f us" (compiled_ns /. 1e3);
-          Printf.sprintf "%.1fx" (rebuild_ns /. compiled_ns);
+          Printf.sprintf "%.2f us" (batched_ns /. 1e3);
+          Printf.sprintf "%.1fx" (rebuild_ns /. batched_ns);
+          Printf.sprintf "%.1fx" (compiled_ns /. batched_ns);
         ])
     replay_ms;
   Text_table.print t;
   print_endline
-    "(cost of replaying one crash scenario; the rebuild path reconstructs \
-     the event graph\n per scenario, the compiled path runs only the Kahn \
-     pass over a preallocated arena)";
+    (Printf.sprintf
+       "(cost of replaying one crash scenario; the rebuild path \
+        reconstructs the event graph\n\
+       \ per scenario, the compiled path runs the Kahn pass over a \
+        preallocated arena, and\n\
+       \ the batched path amortizes one [eval_batch] call over a \
+        %d-scenario block)"
+       Monte_carlo.batch_block);
   print_newline ();
   (* domain scaling of a whole Monte-Carlo campaign on the largest case *)
-  let sched, _, _ = List.assoc (List.nth replay_ms 2) scheds in
+  let sched, _, _, _ = List.assoc (List.nth replay_ms 2) scheds in
   (* enough runs that the one compile per domain amortizes *)
   let runs = if quick then 2000 else 10_000 in
+  let blocks = (runs + Monte_carlo.batch_block - 1) / Monte_carlo.batch_block in
   print_endline
     (Printf.sprintf
-       "=== Monte-Carlo scaling: %d from-start scenarios, m=%d (%d core%s \
-        available) ==="
-       runs (List.nth replay_ms 2)
+       "=== Monte-Carlo scaling: %d from-start scenarios in %d blocks, m=%d \
+        (%d core%s available) ==="
+       runs blocks (List.nth replay_ms 2)
        (Domain.recommended_domain_count ())
        (if Domain.recommended_domain_count () = 1 then "" else "s"));
   let t =
     Text_table.create
       ~aligns:[ Text_table.Left ]
-      [ "domains"; "wall"; "scenarios/s"; "scaling" ]
+      [ "domains"; "spawn"; "wall"; "scenarios/s"; "scaling" ]
   in
   let wall1 = ref nan in
   let attr =
@@ -871,13 +901,23 @@ let replay_bench ?(quick = false) () =
   List.iter
     (fun domains ->
       Obs.Prof.reset ();
+      (* the pool is the campaign-scoped resource: its domains are spawned
+         exactly once here (profiled, so the spawn cost is attributed in
+         the JSON) and every Monte-Carlo run of the row reuses them *)
+      let spawn0 = Obs_clock.now () in
+      let pool =
+        Obs.Prof.phase "parallel.pool_spawn" (fun () ->
+            Parallel.pool ~domains ())
+      in
+      let spawn_s = Obs_clock.now () -. spawn0 in
       let t0 = Obs_clock.now () in
       let report =
-        Monte_carlo.run ~seed:3 ~runs ~domains ~crashes:2
+        Monte_carlo.run ~seed:3 ~runs ~pool ~crashes:2
           ~mode:Monte_carlo.From_start sched
       in
       ignore (report : Monte_carlo.report);
       let wall = Obs_clock.now () -. t0 in
+      Parallel.shutdown pool;
       let prof = Obs.Prof.report () in
       if domains = 1 then wall1 := wall;
       let per_sec = float_of_int runs /. wall in
@@ -943,12 +983,14 @@ let replay_bench ?(quick = false) () =
           Printf.sprintf "%d/%d" mincol majcol;
         ];
       replay_domain_rows :=
-        !replay_domain_rows @ [ (domains, runs, wall, per_sec, profile) ];
+        !replay_domain_rows
+        @ [ (domains, runs, blocks, spawn_s, wall, per_sec, profile) ];
       replay_profile_reports :=
         !replay_profile_reports @ [ (domains, Obs.Prof.to_json prof) ];
       Text_table.add_row t
         [
           string_of_int domains;
+          Printf.sprintf "%.1f ms" (spawn_s *. 1e3);
           Printf.sprintf "%.3f s" wall;
           Printf.sprintf "%.0f" per_sec;
           Printf.sprintf "%.2fx" (!wall1 /. wall);
@@ -958,8 +1000,10 @@ let replay_bench ?(quick = false) () =
   Text_table.print t;
   print_endline
     "(same pre-drawn scenario set and byte-identical report for every \
-     domain count;\n scaling above 1.0x needs more cores than domains — on \
-     a single-core host the\n extra domains are pure spawn/GC overhead)";
+     domain count;\n each row spawns a persistent pool once (the 'spawn' \
+     column) and the campaign\n steals eval_batch blocks from it; scaling \
+     above 1.0x needs more cores than\n domains — on a single-core host the \
+     extra domains are pure spawn/GC overhead)";
   print_newline ();
   print_endline "=== where the wall time went (profiler attribution) ===";
   Text_table.print attr;
@@ -1173,14 +1217,44 @@ let write_bench_json path ~seed ~graphs ~domains =
                           ])
                  | _ -> None)
                replay_ms) );
+        ( "replay_batch",
+          Json.List
+            (List.filter_map
+               (fun m ->
+                 let find kind =
+                   List.assoc_opt
+                     (Printf.sprintf "replay/%s/m=%03d" kind m)
+                     !replay_estimates
+                 in
+                 match (find "compiled", find "batched") with
+                 | Some compiled_ns, Some batched_block_ns ->
+                     let batched_ns =
+                       batched_block_ns
+                       /. float_of_int Monte_carlo.batch_block
+                     in
+                     Some
+                       (Json.Obj
+                          [
+                            ("m", Json.Int m);
+                            ("block", Json.Int Monte_carlo.batch_block);
+                            ("per_scenario_ns", float_or_null compiled_ns);
+                            ( "batched_ns_per_scenario",
+                              float_or_null batched_ns );
+                            ( "batched_speedup",
+                              float_or_null (compiled_ns /. batched_ns) );
+                          ])
+                 | _ -> None)
+               replay_ms) );
         ( "replay_domains",
           Json.List
             (List.map
-               (fun (domains, runs, wall, per_sec, profile) ->
+               (fun (domains, runs, blocks, spawn_s, wall, per_sec, profile) ->
                  Json.Obj
                    [
                      ("domains", Json.Int domains);
                      ("runs", Json.Int runs);
+                     ("blocks", Json.Int blocks);
+                     ("pool_spawn_seconds", Json.Float spawn_s);
                      ("wall_seconds", Json.Float wall);
                      ("scenarios_per_sec", float_or_null per_sec);
                      ("profile", profile);

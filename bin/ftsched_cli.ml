@@ -602,7 +602,17 @@ let montecarlo_cmd =
             "Evaluate the replays over N domains (the report is identical \
              for any N).")
   in
-  let run seed m tasks epsilon granularity algo model family runs crashes timed domains obs =
+  let no_batch_t =
+    Arg.(
+      value & flag
+      & info [ "no-batch" ]
+          ~doc:
+            "Evaluate one scenario per replay call instead of \
+             struct-of-arrays blocks (the report is identical either way; \
+             this is the differential baseline).")
+  in
+  let run seed m tasks epsilon granularity algo model family runs crashes timed
+      domains no_batch obs =
     with_obs obs @@ fun () ->
     let _, costs = make_instance ~seed ~family ~tasks ~m ~granularity () in
     let sched = run_algo algo ~model ~seed ~epsilon costs in
@@ -617,7 +627,8 @@ let montecarlo_cmd =
       (if timed then "timed" else "from-start")
       (Schedule.latency_zero_crash sched);
     let report =
-      Monte_carlo.run ~seed:(seed + 1) ~runs ?domains ~crashes ~mode sched
+      Monte_carlo.run ~seed:(seed + 1) ~runs ?domains ~batch:(not no_batch)
+        ~crashes ~mode sched
     in
     Format.printf "%a@." Monte_carlo.pp report;
     0
@@ -625,7 +636,8 @@ let montecarlo_cmd =
   let term =
     Term.(
       const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
-      $ model_t $ family_t $ runs_t $ crashes_t $ timed_t $ domains_t $ obs_t)
+      $ model_t $ family_t $ runs_t $ crashes_t $ timed_t $ domains_t
+      $ no_batch_t $ obs_t)
   in
   Cmd.v
     (Cmd.info "montecarlo" ~doc:"Monte-Carlo fault injection on one schedule")
@@ -936,6 +948,15 @@ let benchdiff_cmd =
             "Report regressions but exit 0 anyway — for CI steps that should \
              warn, not gate.")
   in
+  let filter_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter" ] ~docv:"SUBSTR"
+          ~doc:
+            "Compare only metrics whose key contains $(docv) (e.g. \
+             $(b,batched) for the blocking batched-replay gate).")
+  in
   let read_doc path =
     let ic = open_in_bin path in
     let s =
@@ -947,21 +968,22 @@ let benchdiff_cmd =
     | Ok j -> Ok j
     | Error e -> Error (Printf.sprintf "%s: %s" path e)
   in
-  let run old_path new_path threshold advisory =
+  let run old_path new_path threshold advisory filter =
     match (read_doc old_path, read_doc new_path) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
         exit 2
     | Ok old_doc, Ok new_doc ->
         let r =
-          Bench_compare.compare_docs ~threshold_pct:threshold old_doc new_doc
+          Bench_compare.compare_docs ?filter ~threshold_pct:threshold old_doc
+            new_doc
         in
         Text_table.print (Bench_compare.to_table r);
         print_endline (Bench_compare.summary r);
         if Bench_compare.regressions r <> [] && not advisory then exit 1
   in
   let term =
-    Term.(const run $ old_t $ new_t $ threshold_t $ advisory_t)
+    Term.(const run $ old_t $ new_t $ threshold_t $ advisory_t $ filter_t)
   in
   Cmd.v
     (Cmd.info "benchdiff"

@@ -87,6 +87,18 @@ let metrics doc =
     (rows "replay" doc);
   List.iter
     (fun r ->
+      let m = int_key "m" r in
+      push
+        (Printf.sprintf "replay_batch/m=%s batched_ns_per_scenario" m)
+        (num "batched_ns_per_scenario" r)
+        Lower_better;
+      push
+        (Printf.sprintf "replay_batch/m=%s batched_speedup" m)
+        (num "batched_speedup" r)
+        Higher_better)
+    (rows "replay_batch" doc);
+  List.iter
+    (fun r ->
       push
         (Printf.sprintf "replay_domains/domains=%s scenarios_per_sec"
            (int_key "domains" r))
@@ -115,8 +127,24 @@ let change_pct dir vold vnew =
     let raw = (vnew -. vold) /. vold *. 100. in
     match dir with Lower_better -> raw | Higher_better -> -.raw
 
-let compare_docs ~threshold_pct old_doc new_doc =
-  let olds = metrics old_doc and news = metrics new_doc in
+(* plain substring match; [filter] strings are short metric-key fragments *)
+let contains ~sub s =
+  let n = String.length sub and l = String.length s in
+  if n = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to l - n do
+      if (not !found) && String.sub s i n = sub then found := true
+    done;
+    !found
+  end
+
+let compare_docs ?filter ~threshold_pct old_doc new_doc =
+  let keep (k, _, _) =
+    match filter with None -> true | Some sub -> contains ~sub k
+  in
+  let olds = List.filter keep (metrics old_doc)
+  and news = List.filter keep (metrics new_doc) in
   let entries =
     List.filter_map
       (fun (key, vold, dir) ->

@@ -26,7 +26,10 @@ type result = {
   c_only_new : string list;
 }
 
-val compare_docs : threshold_pct:float -> Json.t -> Json.t -> result
+val compare_docs : ?filter:string -> threshold_pct:float -> Json.t -> Json.t -> result
+(** [filter] keeps only metrics whose key contains the given substring
+    (e.g. ["batched"] for the batched-replay gate CI blocks on) — both
+    sides are filtered, so "only in old/new" reporting stays scoped. *)
 
 val regressions : result -> entry list
 (** Entries at or beyond the threshold in the bad direction. *)

@@ -44,6 +44,7 @@ val check :
   ?samples:int ->
   ?seed:int ->
   ?domains:int ->
+  ?pool:Parallel.pool ->
   ?static:Resilience.report ->
   epsilon:int ->
   Schedule.t ->
@@ -58,8 +59,11 @@ val check :
 
     [domains] (default [1]) shards the exhaustive enumeration across
     OCaml domains (lowest-rank counterexample wins; the report is
-    byte-identical for any value).  Sampling mode is sequential — its
-    RNG draw order must not depend on the domain count.
+    byte-identical for any value).  Passing [pool] runs the shards on a
+    persistent {!Parallel.pool} instead (and ignores [domains]) — same
+    byte-identical report, domains spawned once per campaign.  Sampling
+    mode is sequential — its RNG draw order must not depend on the
+    domain count.
 
     [static] cross-validates against a static ε-resistance report from
     [Ftsched_analysis.Resilience.certify]: the result's [static_agrees]

@@ -25,63 +25,98 @@ let g_throughput =
   Obs_metrics.gauge ~help:"replay scenarios evaluated per second (last campaign)"
     "replay.scenarios_per_sec"
 
-let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?fabric ~crashes ~mode sched
-    =
+(* Scenarios per [Replay.eval_batch] block.  The block size never changes
+   the results — the arena is reset per scenario and aggregation runs in
+   run order over flat arrays — only the work-stealing granularity. *)
+let batch_block = 256
+
+let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?pool ?(batch = true)
+    ?fabric ~crashes ~mode sched =
   if runs < 1 then invalid_arg "Monte_carlo.run: runs < 1";
   let rng = Rng.create seed in
   let m = Platform.proc_count (Schedule.platform sched) in
   let l0 = Schedule.latency_zero_crash sched in
   (* Pre-draw every scenario from the root RNG, in run order, before any
      evaluation: the scenario set is byte-identical to the sequential
-     run whatever [domains] is.  A from-start crash is a timed crash at
-     [neg_infinity], so both modes share one representation. *)
-  let scenarios = ref [] in
-  Obs_prof.phase ~cat:"sim" "montecarlo.draw" (fun () ->
-      for _ = 1 to runs do
-        Obs_metrics.incr m_scenarios;
-        let scenario =
-          match mode with
-          | From_start ->
-              List.map
-                (fun p -> (p, neg_infinity))
-                (Scenario.uniform_procs rng ~m ~count:crashes)
-          | Timed horizon -> Scenario.timed rng ~m ~count:crashes ~horizon
-        in
-        scenarios := scenario :: !scenarios
-      done);
-  let scenarios = List.rev !scenarios in
-  (* One compiled simulator + crash-time scratch per domain: a [compiled]
-     value owns its arena and must not be shared. *)
-  let sim =
-    Domain.DLS.new_key (fun () ->
-        (Replay.compile ?fabric sched, Array.make m infinity))
+     run whatever [domains] (or pool size) is.  A from-start crash is a
+     timed crash at [neg_infinity], so both modes share one
+     representation. *)
+  let smode =
+    match mode with
+    | From_start -> Scenario.From_start
+    | Timed horizon -> Scenario.Timed horizon
   in
+  let scenarios =
+    Obs_prof.phase ~cat:"sim" "montecarlo.draw" (fun () ->
+        Obs_metrics.incr ~by:runs m_scenarios;
+        Scenario.draw_block rng ~m ~count:crashes ~mode:smode ~runs)
+  in
+  (* One compiled simulator per domain: a [compiled] value owns its
+     scratch arena and must not be shared. *)
+  let sim = Domain.DLS.new_key (fun () -> Replay.compile ?fabric sched) in
   (* Degradation tracking only engages beyond the tolerance the schedule
      was built for: within epsilon the completion fraction is constantly
      1.0 (Proposition 5.2) and the plain latency path stays bit-identical
      to the historical reports. *)
   let beyond = crashes > Schedule.epsilon sched in
-  let eval_one scenario =
-    (* profiled but untraced: one span per scenario would drown the
-       timeline that the [point]/[replay] spans already structure *)
-    Obs_prof.phase ~trace:false "montecarlo.eval" @@ fun () ->
-    let c, crash_time = Domain.DLS.get sim in
-    Array.fill crash_time 0 m infinity;
-    List.iter
-      (fun (p, tau) ->
-        crash_time.(p) <- Float.min crash_time.(p) tau)
-      scenario;
-    if not beyond then (Replay.eval_latency c ~crash_time, None)
-    else
-      let d = Replay.eval_degraded c ~crash_time in
-      let lat =
-        if d.Replay.d_tasks = d.Replay.d_task_count then d.Replay.d_frontier
-        else nan
-      in
-      (lat, Some d)
+  (* Per-scenario results land in flat arrays at the scenario's own run
+     index, so workers touch disjoint slots and aggregation order is the
+     run order however the items were stolen. *)
+  let lat = Array.make runs nan in
+  let deg_tasks = if beyond then Array.make runs 0 else [||] in
+  let deg_sinks = if beyond then Array.make runs 0 else [||] in
+  let deg_frontier = if beyond then Array.make runs 0. else [||] in
+  let dispatch f items =
+    match pool with
+    | Some p -> ignore (Parallel.map_pool p f items : unit list)
+    | None -> ignore (Parallel.map ~domains f items : unit list)
   in
   let t0 = Obs_clock.now () in
-  let results = Parallel.map ~domains eval_one scenarios in
+  (if batch then begin
+     (* batched path: blocks of [batch_block] scenarios, one
+        struct-of-arrays [Replay.eval_batch] call per block *)
+     let nblocks = (runs + batch_block - 1) / batch_block in
+     let eval_block b =
+       (* profiled but untraced: one span per block would still drown the
+          timeline the [point]/[replay] spans already structure *)
+       Obs_prof.phase ~trace:false "montecarlo.eval" @@ fun () ->
+       let c = Domain.DLS.get sim in
+       let start = b * batch_block in
+       let len = min batch_block (runs - start) in
+       let res =
+         Replay.eval_batch ~degradation:beyond c
+           (Array.sub scenarios start len)
+       in
+       Array.blit res.Replay.br_latency 0 lat start len;
+       if beyond then begin
+         Array.blit res.Replay.br_tasks 0 deg_tasks start len;
+         Array.blit res.Replay.br_sinks 0 deg_sinks start len;
+         Array.blit res.Replay.br_frontier 0 deg_frontier start len
+       end
+     in
+     dispatch eval_block (List.init nblocks Fun.id)
+   end
+   else begin
+     (* legacy per-scenario path, retained as the batched path's
+        differential baseline *)
+     let eval_one i =
+       Obs_prof.phase ~trace:false "montecarlo.eval" @@ fun () ->
+       let c = Domain.DLS.get sim in
+       let crash_time = scenarios.(i).Scenario.sc_crash_time in
+       if not beyond then lat.(i) <- Replay.eval_latency c ~crash_time
+       else begin
+         let d = Replay.eval_degraded c ~crash_time in
+         deg_tasks.(i) <- d.Replay.d_tasks;
+         deg_sinks.(i) <- d.Replay.d_sinks;
+         deg_frontier.(i) <- d.Replay.d_frontier;
+         lat.(i) <-
+           (if d.Replay.d_tasks = d.Replay.d_task_count then
+              d.Replay.d_frontier
+            else nan)
+       end
+     in
+     dispatch eval_one (List.init runs Fun.id)
+   end);
   let dt = Obs_clock.now () -. t0 in
   if dt > 0. then Obs_metrics.set g_throughput (float_of_int runs /. dt);
   (* Aggregate in run order so the Kahan sums in [Stats.summarize] see
@@ -89,33 +124,44 @@ let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?fabric ~crashes ~mode sched
   Obs_prof.phase ~cat:"sim" "montecarlo.aggregate" @@ fun () ->
   let latencies = ref [] in
   let completed = ref 0 in
-  List.iter
-    (fun (lat, _) ->
+  Array.iter
+    (fun lat ->
       if not (Float.is_nan lat) then begin
         incr completed;
         latencies := lat :: !latencies
       end)
-    results;
+    lat;
   let latency =
     match !latencies with [] -> None | ls -> Some (Stats.summarize ls)
   in
   let degradation =
     if not beyond then None
     else begin
+      (* the caller domain's compiled simulator carries the constant
+         denominators; reconstructing the per-run record keeps the float
+         operations identical to the historical per-record fold *)
+      let c0 = Domain.DLS.get sim in
+      let task_count = Replay.task_count c0 in
+      let sink_count = Replay.sink_count c0 in
       let n = float_of_int runs in
       let csum = ref 0. and cmin = ref 1. in
       let ssum = ref 0. and fsum = ref 0. in
-      List.iter
-        (fun (_, d) ->
-          match d with
-          | None -> ()
-          | Some d ->
-              let cf = Replay.completion_fraction d in
-              csum := !csum +. cf;
-              if cf < !cmin then cmin := cf;
-              ssum := !ssum +. Replay.sink_fraction d;
-              fsum := !fsum +. d.Replay.d_frontier)
-        results;
+      for i = 0 to runs - 1 do
+        let d =
+          {
+            Replay.d_tasks = deg_tasks.(i);
+            d_task_count = task_count;
+            d_sinks = deg_sinks.(i);
+            d_sink_count = sink_count;
+            d_frontier = deg_frontier.(i);
+          }
+        in
+        let cf = Replay.completion_fraction d in
+        csum := !csum +. cf;
+        if cf < !cmin then cmin := cf;
+        ssum := !ssum +. Replay.sink_fraction d;
+        fsum := !fsum +. d.Replay.d_frontier
+      done;
       Some
         {
           deg_completion_mean = !csum /. n;
@@ -138,14 +184,15 @@ let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?fabric ~crashes ~mode sched
     degradation;
   }
 
-let degradation_curve ?seed ?runs ?domains ?fabric ?max_crashes ~mode sched =
+let degradation_curve ?seed ?runs ?domains ?pool ?batch ?fabric ?max_crashes
+    ~mode sched =
   let m = Platform.proc_count (Schedule.platform sched) in
   let eps = Schedule.epsilon sched in
   let hi =
     match max_crashes with Some k -> min k m | None -> min m (eps + 3)
   in
   List.init (hi + 1) (fun crashes ->
-      (crashes, run ?seed ?runs ?domains ?fabric ~crashes ~mode sched))
+      (crashes, run ?seed ?runs ?domains ?pool ?batch ?fabric ~crashes ~mode sched))
 
 let slowdown_cell x =
   if Float.is_nan x then "-" else Printf.sprintf "%.2fx" x

@@ -40,10 +40,16 @@ type report = {
           only in that case, so historical output is unchanged *)
 }
 
+val batch_block : int
+(** Scenarios per {!Replay.eval_batch} block on the batched path (256).
+    Purely a work-stealing granularity: the report never depends on it. *)
+
 val run :
   ?seed:int ->
   ?runs:int ->
   ?domains:int ->
+  ?pool:Parallel.pool ->
+  ?batch:bool ->
   ?fabric:Netstate.fabric ->
   crashes:int ->
   mode:mode ->
@@ -55,17 +61,28 @@ val run :
     schedule, [failure_rate] is [0.] by Proposition 5.2.
 
     [domains] (default [1]) spreads the replays over OCaml domains with
-    one compiled simulator per domain ({!Replay.compile}).  All scenarios
-    are pre-drawn from the root RNG and aggregated in run order, so the
-    report is byte-identical for every [domains] value (pinned by the
-    test suite).  The default stays sequential because campaign code may
-    already be running one {!Parallel.map} over experiment points.  Sets
-    the [replay.scenarios_per_sec] gauge. *)
+    one compiled simulator per domain ({!Replay.compile}).  Passing
+    [pool] instead evaluates on a persistent {!Parallel.pool} (and
+    ignores [domains]): a campaign of many [run] calls then spawns its
+    domains exactly once.  All scenarios are pre-drawn from the root RNG
+    ({!Scenario.draw_block}) and aggregated in run order, so the report
+    is byte-identical for every [domains] value, pool size, and [batch]
+    setting (pinned by the test suite).  The default stays sequential
+    because campaign code may already be running one {!Parallel.map}
+    over experiment points.
+
+    [batch] (default [true]) evaluates scenarios in {!batch_block}-sized
+    blocks through {!Replay.eval_batch} — the throughput path.
+    [~batch:false] keeps the historical one-{!Replay.eval_latency}-per-
+    scenario loop, retained as the differential baseline.  Sets the
+    [replay.scenarios_per_sec] gauge either way. *)
 
 val degradation_curve :
   ?seed:int ->
   ?runs:int ->
   ?domains:int ->
+  ?pool:Parallel.pool ->
+  ?batch:bool ->
   ?fabric:Netstate.fabric ->
   ?max_crashes:int ->
   mode:mode ->

@@ -415,6 +415,11 @@ type compiled = {
   c_adj : int array;
   c_indeg0 : int array;
   c_key : float array;  (* static-time Kahn priority per node *)
+  c_order : int array;
+  (* The heap pop order of the Kahn traversal depends only on static data
+     (c_indeg0 / c_adj / c_key), never on the scenario, so [compile]
+     precomputes it once.  The batched path walks this array in a flat
+     loop — no heap operations, no in-degree resets per scenario. *)
   (* per replica node *)
   c_r_proc : int array;
   c_r_dur : float array;
@@ -451,9 +456,16 @@ type compiled = {
   s_msg_dead : bool array;    (* message rides a dead link this scenario *)
   mutable s_dead_dirty : bool;
   s_queue : int Heap.t;
+  (* batch-path masks: crash/outage state as bitsets, tested without
+     bounds checks in the ordered inner loop *)
+  s_crashed : Bitset.t;       (* processors dead from the scenario start *)
+  s_dead_mask : Bitset.t;     (* message rides a dead link (batch path) *)
+  mutable s_mask_dirty : bool;
 }
 
 let proc_count c = c.c_m
+let task_count c = c.c_v
+let sink_count c = Array.length c.c_sinks
 
 let compile ?fabric sched =
   Obs_metrics.incr m_compiles;
@@ -685,28 +697,6 @@ let compile ?fabric sched =
     List.iteri (fun i s -> sup_dat.(sup_off.(slot) + i) <- s) supplies.(slot)
   done;
 
-  (* -- acyclicity: checked once here so eval can skip it ------------- *)
-  (let deg = Array.copy indeg in
-   let stack = ref [] in
-   Array.iteri (fun n d -> if d = 0 then stack := n :: !stack) deg;
-   let processed = ref 0 in
-   let rec drain () =
-     match !stack with
-     | [] -> ()
-     | n :: rest ->
-         stack := rest;
-         incr processed;
-         for k = adj_off.(n) to adj_off.(n + 1) - 1 do
-           let n' = adj_dat.(k) in
-           deg.(n') <- deg.(n') - 1;
-           if deg.(n') = 0 then stack := n' :: !stack
-         done;
-         drain ()
-   in
-   drain ();
-   if !processed <> nnodes then
-     failwith "Replay.compile: cyclic schedule (inconsistent static order)");
-
   let port_slots =
     match model with Netstate.Multiport k -> max 1 k | _ -> 1
   in
@@ -717,6 +707,27 @@ let compile ?fabric sched =
     let d = Float.compare key.(a) key.(b) in
     if d <> 0 then d else Stdlib.compare a b
   in
+  (* -- static traversal order ---------------------------------------- *)
+  (* Run the Kahn heap once here: the pop order is scenario-independent,
+     so [eval_batch] replays it as a flat array walk.  Draining every
+     node doubles as the acyclicity check that lets eval skip it. *)
+  let order = Array.make nnodes 0 in
+  (let deg = Array.copy indeg in
+   let queue = Heap.create ~cmp in
+   Array.iteri (fun n d -> if d = 0 then Heap.add queue n) deg;
+   let processed = ref 0 in
+   while not (Heap.is_empty queue) do
+     let n = Heap.pop_exn queue in
+     order.(!processed) <- n;
+     incr processed;
+     for k = adj_off.(n) to adj_off.(n + 1) - 1 do
+       let n' = adj_dat.(k) in
+       deg.(n') <- deg.(n') - 1;
+       if deg.(n') = 0 then Heap.add queue n'
+     done
+   done;
+   if !processed <> nnodes then
+     failwith "Replay.compile: cyclic schedule (inconsistent static order)");
   {
       c_m = m;
       c_v = v;
@@ -730,6 +741,7 @@ let compile ?fabric sched =
       c_adj = adj_dat;
       c_indeg0 = indeg;
       c_key = key;
+      c_order = order;
       c_r_proc = r_proc;
       c_r_dur = r_dur;
       c_pred_off = pred_off;
@@ -759,6 +771,9 @@ let compile ?fabric sched =
       s_msg_dead = Array.make (max 1 nmsgs) false;
       s_dead_dirty = false;
       s_queue = Heap.create ~cmp;
+      s_crashed = Bitset.create m;
+      s_dead_mask = Bitset.create (max 1 nmsgs);
+      s_mask_dirty = false;
     }
 
 (* Reset the scratch arena and run the Kahn pass for one scenario.
@@ -1025,6 +1040,316 @@ let eval_crashed ?(dead_links = []) c ~crashed =
 
 let eval_timed ?(dead_links = []) c ~crashes =
   eval ~dead_links c ~crash_time:(crash_times_timed c.c_m crashes)
+
+(* ==================================================================== *)
+(* Batched evaluation: a block of scenarios over one scratch arena.     *)
+(* ==================================================================== *)
+
+(* [eval_batch] is the throughput path: it walks the precomputed
+   [c_order] in a flat loop (no heap, no in-degree bookkeeping), tests
+   dead-from-start / dead-link state through unchecked bitset probes,
+   and writes one result per scenario into pre-sized result arrays — no
+   per-scenario records, lists, or outcome materialization.  Every float
+   operation mirrors [eval_core] exactly, so results are bit-identical
+   to the per-scenario path (pinned against [reference] by the
+   differential suite). *)
+
+type batch = {
+  br_count : int;
+  br_latency : float array;
+      (* per scenario: frontier latency, or nan if some task failed *)
+  br_tasks : int array;     (* filled only with ~degradation *)
+  br_sinks : int array;
+  br_frontier : float array;
+}
+
+let g_batch_size =
+  Obs_metrics.gauge ~help:"scenarios in the last eval_batch block"
+    "replay.batch_size"
+
+let g_throughput =
+  Obs_metrics.gauge
+    ~help:
+      "replay scenarios evaluated per second (last batch or campaign, \
+       whichever path ran)"
+    "replay.scenarios_per_sec"
+
+let eval_batch ?(degradation = false) c (scenarios : Scenario.t array) =
+  let count = Array.length scenarios in
+  Obs_metrics.incr ~by:count m_replays;
+  Obs_metrics.set g_batch_size (float_of_int count);
+  Obs_prof.phase ~trace:false ~cat:"sim" "replay.eval_batch" @@ fun () ->
+  let t_begin = Obs_clock.now () in
+  let br_latency = Array.make count nan in
+  let br_tasks = if degradation then Array.make count 0 else [||] in
+  let br_sinks = if degradation then Array.make count 0 else [||] in
+  let br_frontier = if degradation then Array.make count 0. else [||] in
+
+  (* hoisted immutable descriptions (all reads below are unsafe: every
+     index comes from compile-built CSR arrays, in range by construction) *)
+  let m = c.c_m in
+  let nreplicas = c.c_nreplicas in
+  let order = c.c_order in
+  let nnodes = nreplicas + c.c_nmsgs in
+  let insertion = c.c_insertion in
+  let contended = c.c_contended in
+  let port_slots = c.c_port_slots in
+  let finish = c.s_finish in
+  let delivered = c.s_delivered in
+  let exec_free = c.s_exec_free in
+  let crashed = c.s_crashed in
+  let dead_mask = c.s_dead_mask in
+
+  let min_slot slots = Array.fold_left Float.min infinity slots in
+  let argmin_slot (slots : float array) =
+    let best = ref 0 in
+    Array.iteri (fun i v -> if v < slots.(!best) then best := i) slots;
+    !best
+  in
+  let fit_gap p ~ready ~dur =
+    let rec fit prev_end = function
+      | [] -> Float.max prev_end ready
+      | (s, f) :: rest ->
+          let cand = Float.max prev_end ready in
+          if cand +. dur <= s +. 1e-9 then cand
+          else fit (Float.max prev_end f) rest
+    in
+    fit 0. c.s_busy.(p)
+  in
+  let occupy p start finish =
+    let rec insert = function
+      | [] -> [ (start, finish) ]
+      | ((s, _) as iv) :: rest when s < start -> iv :: insert rest
+      | rest -> (start, finish) :: rest
+    in
+    c.s_busy.(p) <- insert c.s_busy.(p)
+  in
+  let link_free mi =
+    let acc = ref 0. in
+    for k = c.c_route_off.(mi) to Array.unsafe_get c.c_route_off (mi + 1) - 1 do
+      let f = Array.unsafe_get c.s_phys_free (Array.unsafe_get c.c_route k) in
+      if f > !acc then acc := f
+    done;
+    !acc
+  in
+  let occupy_link mi fin =
+    for k = c.c_route_off.(mi) to Array.unsafe_get c.c_route_off (mi + 1) - 1 do
+      Array.unsafe_set c.s_phys_free (Array.unsafe_get c.c_route k) fin
+    done
+  in
+
+  (* scenario loop: reset arena in place, walk c_order, collect *)
+  for si = 0 to count - 1 do
+    let sc = Array.unsafe_get scenarios si in
+    let crash_time = sc.Scenario.sc_crash_time in
+    if Array.length crash_time <> m then
+      invalid_arg "Replay.eval_batch: crash_time length <> processor count";
+
+    (* -- reset ------------------------------------------------------- *)
+    Array.fill finish 0 (Array.length finish) infinity;
+    Array.fill delivered 0 (Array.length delivered) infinity;
+    Array.fill exec_free 0 m 0.;
+    if insertion then Array.fill c.s_busy 0 m [];
+    if contended then begin
+      for p = 0 to m - 1 do
+        Array.fill c.s_send_free.(p) 0 port_slots 0.;
+        Array.fill c.s_recv_free.(p) 0 port_slots 0.
+      done;
+      Array.fill c.s_phys_free 0 (Array.length c.s_phys_free) 0.
+    end;
+    Bitset.clear crashed;
+    for p = 0 to m - 1 do
+      if Array.unsafe_get crash_time p = neg_infinity then
+        Bitset.unsafe_add crashed p
+    done;
+    (if c.s_mask_dirty then begin
+       Bitset.clear dead_mask;
+       c.s_mask_dirty <- false
+     end);
+    (match sc.Scenario.sc_dead_links with
+    | [] -> ()
+    | dl ->
+        c.s_mask_dirty <- true;
+        for mi = 0 to c.c_nmsgs - 1 do
+          if List.mem (c.c_msg_src.(mi), c.c_msg_dst.(mi)) dl then
+            Bitset.unsafe_add dead_mask mi
+        done);
+    let has_dead = c.s_mask_dirty in
+
+    (* -- ordered traversal (the Kahn pass, order precompiled) -------- *)
+    for k = 0 to nnodes - 1 do
+      let n = Array.unsafe_get order k in
+      if n < nreplicas then begin
+        (* replica node: mirror of [eval_core].process_replica minus the
+           s_state/s_starved bookkeeping (the batch reports need only
+           finish times) *)
+        let rn = n in
+        let starved = ref false in
+        let data_ready = ref 0. in
+        for slot = Array.unsafe_get c.c_pred_off rn
+               to Array.unsafe_get c.c_pred_off (rn + 1) - 1 do
+          let ready = ref infinity in
+          for ks = Array.unsafe_get c.c_sup_off slot
+                 to Array.unsafe_get c.c_sup_off (slot + 1) - 1 do
+            let node = Array.unsafe_get c.c_sup ks in
+            let t =
+              if node < nreplicas then Array.unsafe_get finish node
+              else Array.unsafe_get delivered (node - nreplicas)
+            in
+            if t < !ready then ready := t
+          done;
+          if !ready = infinity then starved := true
+          else data_ready := Float.max !data_ready !ready
+        done;
+        let p = Array.unsafe_get c.c_r_proc rn in
+        if Bitset.unsafe_mem crashed p || !starved then ()
+          (* dead from start, or an input never arrives: no resource
+             bookings, finish stays infinity — exactly [eval_core]'s
+             crashed/starved branches *)
+        else begin
+          let dur = Array.unsafe_get c.c_r_dur rn in
+          let start =
+            if insertion then fit_gap p ~ready:!data_ready ~dur
+            else Float.max (Array.unsafe_get exec_free p) !data_ready
+          in
+          let fin = start +. dur in
+          if fin > Array.unsafe_get crash_time p then begin
+            Array.unsafe_set exec_free p infinity;
+            if insertion then occupy p (Array.unsafe_get crash_time p) infinity
+          end
+          else begin
+            Array.unsafe_set exec_free p
+              (Float.max (Array.unsafe_get exec_free p) fin);
+            if insertion then occupy p start fin;
+            Array.unsafe_set finish rn fin
+          end
+        end
+      end
+      else begin
+        (* message node: mirror of [eval_core].process_message *)
+        let mi = n - nreplicas in
+        let src = Array.unsafe_get c.c_msg_src mi in
+        let dst = Array.unsafe_get c.c_msg_dst mi in
+        let w = Array.unsafe_get c.c_msg_dur mi in
+        let src_finish =
+          Array.unsafe_get finish (Array.unsafe_get c.c_msg_src_rn mi)
+        in
+        if src_finish = infinity then ()
+          (* never emitted; delivered stays infinity *)
+        else if has_dead && Bitset.unsafe_mem dead_mask mi then begin
+          (if contended then begin
+             let slot = argmin_slot c.s_send_free.(src) in
+             let leg_start =
+               Float.max
+                 c.s_send_free.(src).(slot)
+                 (Float.max src_finish (link_free mi))
+             in
+             let leg_finish = leg_start +. w in
+             c.s_send_free.(src).(slot) <- leg_finish;
+             occupy_link mi leg_finish
+           end)
+          (* delivered stays infinity: emitted and lost in transit *)
+        end
+        else begin
+          let leg_start =
+            if not contended then src_finish
+            else
+              Float.max
+                (min_slot c.s_send_free.(src))
+                (Float.max src_finish (link_free mi))
+          in
+          let leg_finish = leg_start +. w in
+          if leg_finish > Array.unsafe_get crash_time src then
+            Array.fill c.s_send_free.(src) 0 port_slots infinity
+          else begin
+            (if contended then begin
+               c.s_send_free.(src).(argmin_slot c.s_send_free.(src)) <-
+                 leg_finish;
+               occupy_link mi leg_finish
+             end);
+            if Bitset.unsafe_mem crashed dst then ()
+            else begin
+              let slot = argmin_slot c.s_recv_free.(dst) in
+              let arrival =
+                if not contended then leg_finish
+                else w +. Float.max c.s_recv_free.(dst).(slot) leg_start
+              in
+              if arrival > Array.unsafe_get crash_time dst then ()
+              else begin
+                if contended then c.s_recv_free.(dst).(slot) <- arrival;
+                Array.unsafe_set delivered mi arrival
+              end
+            end
+          end
+        end
+      end
+    done;
+
+    (* -- collect ------------------------------------------------------ *)
+    if not degradation then begin
+      (* mirror of [eval_latency]'s fold, same Float.max sequence *)
+      let latency = ref 0. in
+      let failed = ref false in
+      let rn = ref 0 in
+      for _task = 0 to c.c_v - 1 do
+        let earliest = ref infinity in
+        for _idx = 0 to c.c_eps1 - 1 do
+          let f = Array.unsafe_get finish !rn in
+          if f < !earliest then earliest := f;
+          incr rn
+        done;
+        if !earliest = infinity then failed := true
+        else latency := Float.max !latency !earliest
+      done;
+      Array.unsafe_set br_latency si (if !failed then nan else !latency)
+    end
+    else begin
+      (* mirror of [degradation_of_scratch] + the Monte-Carlo rule
+         "frontier if everything completed, nan otherwise" *)
+      let tasks_done = ref 0 in
+      let frontier = ref 0. in
+      let sinks_done = ref 0 in
+      let rn = ref 0 in
+      for _task = 0 to c.c_v - 1 do
+        let earliest = ref infinity in
+        for _idx = 0 to c.c_eps1 - 1 do
+          let f = Array.unsafe_get finish !rn in
+          if f < !earliest then earliest := f;
+          incr rn
+        done;
+        if !earliest < infinity then begin
+          incr tasks_done;
+          if !earliest > !frontier then frontier := !earliest
+        end
+      done;
+      (* second pass over the (few) sinks, reusing the per-task earliest
+         computation instead of a v-sized done-flags array *)
+      Array.iter
+        (fun s ->
+          let earliest = ref infinity in
+          for idx = s * c.c_eps1 to ((s + 1) * c.c_eps1) - 1 do
+            let f = Array.unsafe_get finish idx in
+            if f < !earliest then earliest := f
+          done;
+          if !earliest < infinity then incr sinks_done)
+        c.c_sinks;
+      Array.unsafe_set br_tasks si !tasks_done;
+      Array.unsafe_set br_sinks si !sinks_done;
+      Array.unsafe_set br_frontier si !frontier;
+      Array.unsafe_set br_latency si
+        (if !tasks_done = c.c_v then !frontier else nan)
+    end
+  done;
+  let dt = Obs_clock.now () -. t_begin in
+  if dt > 0. && count > 0 then
+    Obs_metrics.set g_throughput (float_of_int count /. dt);
+  {
+    br_count = count;
+    br_latency;
+    br_tasks;
+    br_sinks;
+    br_frontier;
+  }
 
 (* ==================================================================== *)
 (* Fault plans: timeline events generalizing the crash-only scenarios.  *)

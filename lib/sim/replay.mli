@@ -78,6 +78,13 @@ val proc_count : compiled -> int
 (** Processor count [m] of the compiled schedule — the required length of
     the [crash_time] array passed to {!eval}. *)
 
+val task_count : compiled -> int
+(** Tasks [v] of the compiled DAG (the [br_tasks] denominator of
+    {!eval_batch}). *)
+
+val sink_count : compiled -> int
+(** Exit tasks of the compiled DAG (the [br_sinks] denominator). *)
+
 type outcome = {
   completed : bool;
       (** at least one replica of every task produced its result *)
@@ -123,6 +130,43 @@ val eval_timed :
   outcome
 (** {!eval} where processor [p] dies at time [tau] (earliest wins if a
     processor is listed twice). *)
+
+(** {1 Batched evaluation}
+
+    The campaign throughput path: evaluate a whole block of pre-drawn
+    scenarios ({!Scenario.draw_block}) over one compiled engine, writing
+    results into flat struct-of-arrays result vectors.  Per scenario it
+    walks the traversal order precomputed by {!compile} (no priority
+    heap, no in-degree bookkeeping), resets the scratch arena in place,
+    and probes dead-from-start / dead-link state through {!Bitset} masks
+    with no bounds checks.  Results are bit-identical to calling
+    {!eval_latency} (resp. {!eval_degraded}) scenario by scenario —
+    pinned against {!reference} by the 108-config differential suite.
+
+    Sets the [replay.batch_size] gauge to the block length and
+    [replay.scenarios_per_sec] to this block's evaluation rate. *)
+
+type batch = {
+  br_count : int;  (** scenarios evaluated *)
+  br_latency : float array;
+      (** per scenario: the {!eval_latency} result — frontier latency, or
+          [nan] if some task completed no replica *)
+  br_tasks : int array;
+      (** per scenario, tasks with a surviving replica; [[||]] unless
+          [~degradation:true] *)
+  br_sinks : int array;  (** sink tasks delivered; [[||]] likewise *)
+  br_frontier : float array;
+      (** latency of the surviving frontier; [[||]] likewise *)
+}
+
+val eval_batch : ?degradation:bool -> compiled -> Scenario.t array -> batch
+(** [eval_batch c scenarios] replays every scenario of the block on [c]'s
+    arena.  With [~degradation:true] (default [false]) it additionally
+    fills the per-scenario degradation columns, and [br_latency] follows
+    the Monte-Carlo rule: the frontier when every task completed, [nan]
+    otherwise — exactly {!eval_degraded} folded the way
+    {!Monte_carlo.run} does.  Raises [Invalid_argument] if a scenario's
+    crash-time array length differs from {!proc_count}. *)
 
 (** {1 Fault plans}
 

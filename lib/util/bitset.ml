@@ -32,6 +32,19 @@ let mem t i =
   let b = i / 8 and bit = i mod 8 in
   Char.code (Bytes.get t.words b) land (1 lsl bit) <> 0
 
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+(* Unbounds-checked variants for the replay inner loop, where indices come
+   from compile-time CSR arrays that are in range by construction. *)
+
+let unsafe_mem t i =
+  Char.code (Bytes.unsafe_get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let unsafe_add t i =
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.words b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.words b) lor (1 lsl (i land 7))))
+
 let singleton n i =
   let t = create n in
   add t i;

@@ -22,6 +22,18 @@ val mem : t -> int -> bool
 val is_empty : t -> bool
 val cardinal : t -> int
 
+val clear : t -> unit
+(** Remove every element, in place.  One [Bytes.fill]; lets a scratch set
+    be reused across scenarios without reallocating. *)
+
+val unsafe_mem : t -> int -> bool
+(** [mem] without the bounds check.  Undefined behaviour outside
+    [\[0, universe_size t - 1\]]; reserved for inner loops whose indices
+    are in range by construction (the replay engine's crash masks). *)
+
+val unsafe_add : t -> int -> unit
+(** [add] without the bounds check; same caveat as {!unsafe_mem}. *)
+
 val union_into : into:t -> t -> unit
 (** [union_into ~into s] adds every element of [s] to [into].  The two
     sets must share the universe size. *)

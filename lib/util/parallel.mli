@@ -44,6 +44,41 @@ type map_stats = {
   ms_workers : worker_stats list;
 }
 
+(** {1 Persistent worker pool}
+
+    [map] spawns and joins its domains on every call, which is fine for a
+    handful of big items but dominates the wall clock when a campaign
+    issues thousands of small blocks.  A {!pool} spawns its domains once;
+    {!map_pool} then reuses them for any number of maps, with the same
+    ordering, exception, and telemetry semantics as {!map}. *)
+
+type pool
+
+val pool : ?domains:int -> unit -> pool
+(** [pool ~domains ()] spawns [domains - 1] worker domains (default
+    {!available_domains}; clamped to at least [1]).  The calling domain is
+    always worker slot [0] of every subsequent {!map_pool}, so a pool of
+    size [1] spawns nothing and runs maps sequentially on the caller. *)
+
+val pool_size : pool -> int
+(** Total workers, including the calling domain. *)
+
+val map_pool : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_pool p f xs] is [map ~domains:(pool_size p) f xs] computed on the
+    pool's persistent domains: result order follows [xs]; if some
+    application of [f] raises, one such exception is re-raised after all
+    participants finished (items not yet claimed when a worker dies are
+    still computed by the surviving workers); the installed {!set_monitor}
+    callback receives the same per-worker accounting as [map].  One job
+    runs at a time — calling [map_pool] on a pool that is already running
+    a job (from [f] itself, or from another domain) raises
+    [Invalid_argument].  Not serialized externally: dedicate a pool to one
+    orchestrating thread. *)
+
+val shutdown : pool -> unit
+(** Terminate and join the pool's domains.  Subsequent {!map_pool} calls
+    raise [Invalid_argument]; [shutdown] itself is idempotent. *)
+
 val set_monitor : (map_stats -> unit) option -> unit
 (** Install (or clear) the telemetry callback.  With no monitor installed
     — the default — [map] runs an uninstrumented loop with no clock reads

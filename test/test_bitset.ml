@@ -78,6 +78,31 @@ let test_iter () =
   Helpers.check_bool "iter order" true (List.rev !acc = [ 0; 63; 64; 69 ]);
   Helpers.check_int "cardinal across words" 4 (Bitset.cardinal s)
 
+let test_clear_and_unsafe () =
+  (* the replay inner loops use clear + unsafe_add/unsafe_mem; they must
+     agree with the checked operations on every in-universe index *)
+  let n = 70 in
+  let s = Bitset.of_list n [ 0; 7; 8; 63; 64; 69 ] in
+  Bitset.clear s;
+  Helpers.check_bool "clear empties" true (Bitset.is_empty s);
+  Helpers.check_int "clear cardinal" 0 (Bitset.cardinal s);
+  let rng = Rng.create 77 in
+  let reference = Array.make n false in
+  for _ = 1 to 200 do
+    let i = Rng.int rng n in
+    Bitset.unsafe_add s i;
+    reference.(i) <- true
+  done;
+  for i = 0 to n - 1 do
+    Helpers.check_bool "unsafe_mem = mem" (Bitset.mem s i)
+      (Bitset.unsafe_mem s i);
+    Helpers.check_bool "unsafe_add landed" reference.(i) (Bitset.mem s i)
+  done;
+  Bitset.clear s;
+  for i = 0 to n - 1 do
+    Helpers.check_bool "clear leaves nothing" false (Bitset.unsafe_mem s i)
+  done
+
 let test_large_universe_random () =
   let rng = Rng.create 31 in
   for _ = 1 to 50 do
@@ -100,5 +125,6 @@ let suite =
     Alcotest.test_case "copy isolation" `Quick test_copy_isolation;
     Alcotest.test_case "complement/singleton" `Quick test_complement_and_singleton;
     Alcotest.test_case "iter across words" `Quick test_iter;
+    Alcotest.test_case "clear + unsafe ops" `Quick test_clear_and_unsafe;
     Alcotest.test_case "random roundtrips" `Quick test_large_universe_random;
   ]

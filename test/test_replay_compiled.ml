@@ -4,10 +4,14 @@
      the schedule once and assert that [Replay.eval] produces outcomes
      identical (bit-for-bit, including [nan] latencies) to the
      rebuild-per-scenario [Replay.reference] oracle, across fault-free,
-     from-start, timed and dead-link scenarios;
+     from-start, timed and dead-link scenarios — and that one
+     [Replay.eval_batch] block over the same mixed scenario set
+     reproduces [eval_latency] / [eval_degraded] per element;
    - [Monte_carlo.run] and [Fault_check.check] reports are byte-identical
-     for domains in {1, 2, 4} (pre-drawn scenarios / lowest-rank
+     for domains in {1, 2, 4}, for persistent pools of those sizes, and
+     with batching off (pre-drawn scenarios / lowest-rank
      counterexample);
+   - [Scenario.draw_block] consumes the exact per-scenario RNG stream;
    - [Fault_check.subset_at_rank] agrees with the [combinations]
      enumeration at every rank. *)
 
@@ -82,10 +86,14 @@ let run_config seed =
   in
   let compiled = Replay.compile ?fabric sched in
   let name = Printf.sprintf "config %d" seed in
+  let scenarios = ref [] in
+  let diff ~crash_time ~dead_links =
+    check_differential name sched fabric ~crash_time ~dead_links compiled;
+    scenarios := (crash_time, dead_links) :: !scenarios
+  in
   (* fault-free *)
   let no_crash = Array.make m infinity in
-  check_differential name sched fabric ~crash_time:no_crash ~dead_links:[]
-    compiled;
+  diff ~crash_time:no_crash ~dead_links:[];
   (* from-start crash sets of size 1, 2 and epsilon+1 (the last one can
      starve tasks: the nan/failed path must agree too) *)
   List.iter
@@ -95,7 +103,7 @@ let run_config seed =
         Array.init m (fun p ->
             if List.mem p crashed then neg_infinity else infinity)
       in
-      check_differential name sched fabric ~crash_time ~dead_links:[] compiled)
+      diff ~crash_time ~dead_links:[])
     [ 1; 2; epsilon + 1 ];
   (* timed crashes inside the horizon *)
   let horizon = Schedule.makespan sched in
@@ -103,16 +111,50 @@ let run_config seed =
     Array.init m (fun _ ->
         if Rng.bool rng then Rng.float rng horizon else infinity)
   in
-  check_differential name sched fabric ~crash_time ~dead_links:[] compiled;
+  diff ~crash_time ~dead_links:[];
   (* dead links, then a scenario without them again: the scratch arena
      must fully clear the dead-link marks between evals *)
   let dead_links =
     [ (Rng.int rng m, Rng.int rng m); (Rng.int rng m, Rng.int rng m) ]
   in
-  check_differential name sched fabric ~crash_time:no_crash ~dead_links
-    compiled;
-  check_differential name sched fabric ~crash_time:no_crash ~dead_links:[]
-    compiled
+  diff ~crash_time:no_crash ~dead_links;
+  diff ~crash_time:no_crash ~dead_links:[];
+  (* the whole mixed scenario set again as ONE struct-of-arrays block:
+     eval_batch must reproduce eval_latency (and, in degradation mode,
+     eval_degraded under the Monte-Carlo completion rule) per element,
+     with the dead-link masks and crash bitsets fully reset between
+     neighbouring scenarios of the same block *)
+  let scen = Array.of_list (List.rev !scenarios) in
+  let block =
+    Array.map
+      (fun (ct, dl) -> Scenario.of_crash_times ~dead_links:dl ct)
+      scen
+  in
+  let batch = Replay.eval_batch compiled block in
+  Array.iteri
+    (fun i (ct, dl) ->
+      let lat = Replay.eval_latency ~dead_links:dl compiled ~crash_time:ct in
+      if not (float_eq batch.Replay.br_latency.(i) lat) then
+        Alcotest.failf "%s: eval_batch latency %d: %h <> %h" name i
+          batch.Replay.br_latency.(i) lat)
+    scen;
+  let dbatch = Replay.eval_batch ~degradation:true compiled block in
+  Array.iteri
+    (fun i (ct, dl) ->
+      let d = Replay.eval_degraded ~dead_links:dl compiled ~crash_time:ct in
+      if dbatch.Replay.br_tasks.(i) <> d.Replay.d_tasks then
+        Alcotest.failf "%s: eval_batch tasks %d" name i;
+      if dbatch.Replay.br_sinks.(i) <> d.Replay.d_sinks then
+        Alcotest.failf "%s: eval_batch sinks %d" name i;
+      if not (float_eq dbatch.Replay.br_frontier.(i) d.Replay.d_frontier) then
+        Alcotest.failf "%s: eval_batch frontier %d" name i;
+      let expect =
+        if d.Replay.d_tasks = d.Replay.d_task_count then d.Replay.d_frontier
+        else nan
+      in
+      if not (float_eq dbatch.Replay.br_latency.(i) expect) then
+        Alcotest.failf "%s: eval_batch degraded latency %d" name i)
+    scen
 
 let test_differential () =
   (* 108 configurations x 7 scenarios each, spanning all three models,
@@ -128,24 +170,40 @@ let bytes_of x = Marshal.to_string x []
 let test_montecarlo_domains () =
   let _, costs = Helpers.random_instance ~seed:11 ~m:6 ~tasks:20 () in
   let sched = Caft.run ~epsilon:1 costs in
+  (* beyond epsilon too, so the degradation aggregation path is pinned *)
   List.iter
-    (fun mode ->
-      let reports =
-        List.map
-          (fun domains ->
+    (fun crashes ->
+      List.iter
+        (fun mode ->
+          let campaign ?domains ?pool ?batch () =
             bytes_of
-              (Monte_carlo.run ~seed:5 ~runs:120 ~domains ~crashes:2 ~mode
-                 sched))
-          [ 1; 2; 4 ]
-      in
-      match reports with
-      | [ r1; r2; r4 ] ->
-          Helpers.check_bool "montecarlo domains=2 byte-identical" true
-            (r1 = r2);
-          Helpers.check_bool "montecarlo domains=4 byte-identical" true
-            (r1 = r4)
-      | _ -> assert false)
-    [ Monte_carlo.From_start; Monte_carlo.Timed (Schedule.makespan sched) ]
+              (Monte_carlo.run ~seed:5 ~runs:120 ?domains ?pool ?batch
+                 ~crashes ~mode sched)
+          in
+          let r1 = campaign ~domains:1 () in
+          (* spawned-per-call domains *)
+          List.iter
+            (fun domains ->
+              Helpers.check_bool "montecarlo domains byte-identical" true
+                (r1 = campaign ~domains ()))
+            [ 2; 4 ];
+          (* persistent pool of every size, reused across both calls *)
+          List.iter
+            (fun size ->
+              let pool = Parallel.pool ~domains:size () in
+              Fun.protect
+                ~finally:(fun () -> Parallel.shutdown pool)
+                (fun () ->
+                  Helpers.check_bool "montecarlo pooled byte-identical" true
+                    (r1 = campaign ~pool ());
+                  Helpers.check_bool "montecarlo pooled batch-off" true
+                    (r1 = campaign ~pool ~batch:false ())))
+            [ 1; 2; 4 ];
+          (* the legacy per-scenario path is the differential baseline *)
+          Helpers.check_bool "montecarlo batch-off byte-identical" true
+            (r1 = campaign ~domains:1 ~batch:false ()))
+        [ Monte_carlo.From_start; Monte_carlo.Timed (Schedule.makespan sched) ])
+    [ 1; 2 ] (* within epsilon (plain path) and beyond (degradation path) *)
 
 let test_fault_check_domains () =
   let _, costs = Helpers.random_instance ~seed:4 ~m:7 ~tasks:20 () in
@@ -156,11 +214,21 @@ let test_fault_check_domains () =
         (fun domains -> bytes_of (Fault_check.check ~domains ~epsilon sched))
         [ 1; 2; 4 ]
     in
-    match reports with
+    (match reports with
     | [ r1; r2; r4 ] ->
         Helpers.check_bool "check domains=2 byte-identical" true (r1 = r2);
         Helpers.check_bool "check domains=4 byte-identical" true (r1 = r4)
-    | _ -> assert false
+    | _ -> assert false);
+    (* pooled sharding must produce the same report as domain sharding *)
+    List.iter
+      (fun size ->
+        let pool = Parallel.pool ~domains:size () in
+        Fun.protect
+          ~finally:(fun () -> Parallel.shutdown pool)
+          (fun () ->
+            Helpers.check_bool "check pooled byte-identical" true
+              (List.hd reports = bytes_of (Fault_check.check ~pool ~epsilon sched))))
+      [ 1; 2; 4 ]
   in
   (* resisting (full enumeration) and refuting (lowest-rank
      counterexample wins over whatever later shards found) *)
@@ -185,6 +253,43 @@ let test_fault_check_matches_sequential_semantics () =
      counterexample — by construction at most the total *)
   Helpers.check_bool "checked within total" true
     (r.Fault_check.scenarios_checked <= Fault_check.count_combinations 6 2)
+
+let test_draw_block_stream () =
+  (* [Scenario.draw_block] must consume the root generator stream exactly
+     as the historical per-scenario [uniform_procs] / [timed] draws did —
+     otherwise every pre-PR campaign report would shift *)
+  let m = 9 and runs = 40 and count = 3 in
+  let block =
+    Scenario.draw_block (Rng.create 42) ~m ~count ~mode:Scenario.From_start
+      ~runs
+  in
+  let rng = Rng.create 42 in
+  Array.iteri
+    (fun i sc ->
+      let procs = Scenario.uniform_procs rng ~m ~count in
+      let expect = Array.make m infinity in
+      List.iter (fun p -> expect.(p) <- neg_infinity) procs;
+      if sc.Scenario.sc_crash_time <> expect then
+        Alcotest.failf "from-start scenario %d differs from uniform_procs" i;
+      Helpers.check_bool "no dead links" true (sc.Scenario.sc_dead_links = []))
+    block;
+  let horizon = 123.5 in
+  let block =
+    Scenario.draw_block (Rng.create 43) ~m ~count
+      ~mode:(Scenario.Timed horizon) ~runs
+  in
+  let rng = Rng.create 43 in
+  Array.iteri
+    (fun i sc ->
+      let pairs = Scenario.timed rng ~m ~count ~horizon in
+      let expect = Array.make m infinity in
+      List.iter (fun (p, t) -> expect.(p) <- t) pairs;
+      for p = 0 to m - 1 do
+        if not (float_eq sc.Scenario.sc_crash_time.(p) expect.(p)) then
+          Alcotest.failf "timed scenario %d proc %d: %h <> %h" i p
+            sc.Scenario.sc_crash_time.(p) expect.(p)
+      done)
+    block
 
 let test_subset_at_rank () =
   List.iter
@@ -215,6 +320,8 @@ let suite =
       test_fault_check_domains;
     Alcotest.test_case "fault-check counterexample semantics" `Quick
       test_fault_check_matches_sequential_semantics;
+    Alcotest.test_case "draw_block ≡ per-scenario stream" `Quick
+      test_draw_block_stream;
     Alcotest.test_case "subset_at_rank ≡ combinations" `Quick
       test_subset_at_rank;
   ]
