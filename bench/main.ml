@@ -1104,6 +1104,177 @@ let inject_bench ?(quick = false) () =
        | None -> "no"));
   print_newline ()
 
+(* -- scheduler scaling: CAFT tasks/sec on large workflow families ------- *)
+
+let sched_scale_rows : Json.t list ref = ref []
+let sched_efficiency_rows : Json.t list ref = ref []
+
+(* Deterministic instances for the scaling grid.  The family parameters
+   are the same formulas the CLI's --family staged/pipelines use, so a
+   bench row can be reproduced interactively. *)
+let sched_dag family n =
+  match family with
+  | "staged" ->
+      let stages = 8 in
+      let width = max 1 (((n - 1) / stages) - 1) in
+      Families.staged_fanout ~stages ~width ()
+  | "pipelines" ->
+      let depth = 16 in
+      let lanes = max 1 ((n - 2) / depth) in
+      Families.parallel_chains ~lanes ~depth ()
+  | other -> failwith ("sched_dag: unknown family " ^ other)
+
+let sched_families = [ "staged"; "pipelines" ]
+
+let sched_bench ?(quick = false) () =
+  print_endline
+    "=== Scheduler scaling: CAFT (eps=1) tasks/sec on workflow families ===";
+  let ns = if quick then [ 1_000; 10_000 ] else [ 1_000; 10_000; 100_000 ] in
+  let ms = if quick then [ 25 ] else [ 25; 100 ] in
+  let epsilon = 1 in
+  let t =
+    Text_table.create
+      ~aligns:[ Text_table.Left ]
+      [ "family"; "n"; "m"; "tasks"; "wall"; "tasks/s"; "minor Mw"; "peak Mw" ]
+  in
+  let tps = Hashtbl.create 16 in
+  Obs.Prof.set_enabled true;
+  List.iter
+    (fun family ->
+      List.iter
+        (fun m ->
+          List.iter
+            (fun n ->
+              let rng = Rng.create (4000 + m + (n / 1000)) in
+              let dag = sched_dag family n in
+              let params = Platform_gen.default ~m () in
+              let costs =
+                Platform_gen.instance rng ~granularity:1.0 params dag
+              in
+              let tasks = Dag.task_count dag in
+              (* best-of-reps on the small sizes: both cells the
+                 scaling-efficiency gate divides are sub-second, and a
+                 single noisy run would swing the ratio past the CI
+                 threshold; best-of-3 is stable against interference *)
+              let reps = if n <= 1_000 then 7 else if n <= 10_000 then 3 else 1 in
+              let best_wall = ref infinity in
+              let minor = ref 0. and peak = ref 0 in
+              let prof = ref None in
+              for _ = 1 to reps do
+                Gc.full_major ();
+                Obs.Prof.reset ();
+                let s0 = Gc.quick_stat () in
+                let t0 = Obs_clock.now () in
+                let sched = Caft.run ~seed:7 ~epsilon costs in
+                let wall = Obs_clock.now () -. t0 in
+                let s1 = Gc.quick_stat () in
+                ignore (sched : Schedule.t);
+                if wall < !best_wall then begin
+                  best_wall := wall;
+                  minor := s1.Gc.minor_words -. s0.Gc.minor_words;
+                  peak := s1.Gc.top_heap_words;
+                  prof := Some (Obs.Prof.report ())
+                end
+              done;
+              let wall = !best_wall in
+              let per_sec = float_of_int tasks /. wall in
+              Hashtbl.replace tps (family, m, n) per_sec;
+              let phases =
+                match !prof with
+                | None -> []
+                | Some p ->
+                    List.filter_map
+                      (fun ph ->
+                        let name = ph.Obs.Prof.ph_name in
+                        if
+                          String.length name >= 5
+                          && String.sub name 0 5 = "caft."
+                        then
+                          Some
+                            (Json.Obj
+                               [
+                                 ("phase", Json.String name);
+                                 ("calls", Json.Int ph.Obs.Prof.ph_count);
+                                 ("wall_s", Json.Float ph.Obs.Prof.ph_wall_s);
+                                 ("self_s", Json.Float ph.Obs.Prof.ph_self_s);
+                                 ( "minor_words",
+                                   Json.Float ph.Obs.Prof.ph_minor_words );
+                               ])
+                        else None)
+                      p.Obs.Prof.r_phases
+              in
+              sched_scale_rows :=
+                !sched_scale_rows
+                @ [
+                    Json.Obj
+                      [
+                        ("family", Json.String family);
+                        ("n", Json.Int n);
+                        ("tasks", Json.Int tasks);
+                        ("edges", Json.Int (Dag.edge_count dag));
+                        ("m", Json.Int m);
+                        ("epsilon", Json.Int epsilon);
+                        ("wall_seconds", Json.Float wall);
+                        ("tasks_per_sec", Json.Float per_sec);
+                        ("minor_words", Json.Float !minor);
+                        ("peak_heap_words", Json.Int !peak);
+                        ("phases", Json.List phases);
+                      ];
+                  ];
+              Text_table.add_row t
+                [
+                  family;
+                  string_of_int n;
+                  string_of_int m;
+                  string_of_int tasks;
+                  Printf.sprintf "%.3f s" wall;
+                  Printf.sprintf "%.0f" per_sec;
+                  Printf.sprintf "%.1f" (!minor /. 1e6);
+                  Printf.sprintf "%.1f" (float_of_int !peak /. 1e6);
+                ])
+            ns)
+        ms)
+    sched_families;
+  Obs.Prof.set_enabled false;
+  Text_table.print t;
+  (* Same-run scaling efficiency tps(10^4)/tps(10^3): a machine-class
+     robust ratio (both runs on the same host seconds apart), so it can
+     gate in CI where absolute tasks/sec cannot.  A constant-per-task
+     scheduler holds it near 1.0; reintroducing an O(n)-ish term in the
+     per-task cost drops it hard. *)
+  List.iter
+    (fun family ->
+      List.iter
+        (fun m ->
+          match
+            ( Hashtbl.find_opt tps (family, m, 1_000),
+              Hashtbl.find_opt tps (family, m, 10_000) )
+          with
+          | Some t3, Some t4 when t3 > 0. ->
+              let eff = t4 /. t3 in
+              sched_efficiency_rows :=
+                !sched_efficiency_rows
+                @ [
+                    Json.Obj
+                      [
+                        ("family", Json.String family);
+                        ("m", Json.Int m);
+                        ("efficiency_1e4_over_1e3", Json.Float eff);
+                      ];
+                  ];
+              print_endline
+                (Printf.sprintf
+                   "scaling efficiency %s m=%d: tps(1e4)/tps(1e3) = %.2f"
+                   family m eff)
+          | _ -> ())
+        ms)
+    sched_families;
+  print_endline
+    "(one CAFT run per cell; peak = process top_heap_words after the run, \
+     minor = words\n allocated during it; the efficiency ratio is the \
+     same-machine CI gate)";
+  print_newline ()
+
 (* -- machine-readable summary ------------------------------------------ *)
 
 (* Previous contents of the bench JSON, for the rolling [history] field:
@@ -1137,10 +1308,21 @@ let take n l = List.filteri (fun i _ -> i < n) l
 let write_bench_json path ~seed ~graphs ~domains =
   let opt_int = function None -> Json.Null | Some n -> Json.Int n in
   let float_or_null x = if Float.is_nan x then Json.Null else Json.Float x in
+  let prev = read_prev_doc path in
   let history =
-    match read_prev_doc path with
+    match prev with
     | None -> []
     | Some (entry, prev) -> take history_cap (entry :: prev)
+  in
+  (* A partial run (e.g. --sched only) must not wipe the other sections
+     of the committed document: a section whose accumulator is empty
+     inherits the previous document's value. *)
+  let keep ~empty key fresh =
+    if not empty then fresh
+    else
+      match prev with
+      | Some (entry, _) -> Option.value (Json.member key entry) ~default:fresh
+      | None -> fresh
   in
   let json =
     Json.Obj
@@ -1157,7 +1339,7 @@ let write_bench_json path ~seed ~graphs ~domains =
               ("generated_at", Json.Float (Obs_clock.now ()));
             ] );
         ( "figures",
-          Json.List
+          keep ~empty:(!figure_timings = []) "figures" @@ Json.List
             (List.map
                (fun (n, wall, points) ->
                  Json.Obj
@@ -1168,14 +1350,14 @@ let write_bench_json path ~seed ~graphs ~domains =
                    ])
                !figure_timings) );
         ( "bechamel",
-          Json.List
+          keep ~empty:(!bechamel_estimates = []) "bechamel" @@ Json.List
             (List.map
                (fun (name, ns) ->
                  Json.Obj
                    [ ("name", Json.String name); ("ns_per_run", float_or_null ns) ])
                !bechamel_estimates) );
         ( "placement",
-          Json.List
+          keep ~empty:(!placement_estimates = []) "placement" @@ Json.List
             (List.filter_map
                (fun m ->
                  let find kind =
@@ -1196,7 +1378,7 @@ let write_bench_json path ~seed ~graphs ~domains =
                  | _ -> None)
                placement_ms) );
         ( "replay",
-          Json.List
+          keep ~empty:(!replay_estimates = []) "replay" @@ Json.List
             (List.filter_map
                (fun m ->
                  let find kind =
@@ -1218,7 +1400,7 @@ let write_bench_json path ~seed ~graphs ~domains =
                  | _ -> None)
                replay_ms) );
         ( "replay_batch",
-          Json.List
+          keep ~empty:(!replay_estimates = []) "replay_batch" @@ Json.List
             (List.filter_map
                (fun m ->
                  let find kind =
@@ -1246,7 +1428,7 @@ let write_bench_json path ~seed ~graphs ~domains =
                  | _ -> None)
                replay_ms) );
         ( "replay_domains",
-          Json.List
+          keep ~empty:(!replay_domain_rows = []) "replay_domains" @@ Json.List
             (List.map
                (fun (domains, runs, blocks, spawn_s, wall, per_sec, profile) ->
                  Json.Obj
@@ -1261,7 +1443,7 @@ let write_bench_json path ~seed ~graphs ~domains =
                    ])
                !replay_domain_rows) );
         ( "inject",
-          Json.List
+          keep ~empty:(!inject_estimates = []) "inject" @@ Json.List
             (List.filter_map
                (fun m ->
                  let find kind =
@@ -1282,6 +1464,8 @@ let write_bench_json path ~seed ~graphs ~domains =
                  | _ -> None)
                inject_ms) );
         ( "adversary",
+          keep ~empty:(!adversary_row = None) "adversary"
+          @@
           match !adversary_row with
           | None -> Json.Null
           | Some (m, budget, evals, wall) ->
@@ -1292,6 +1476,12 @@ let write_bench_json path ~seed ~graphs ~domains =
                   ("evals", Json.Int evals);
                   ("wall_seconds", Json.Float wall);
                 ] );
+        ( "sched_scale",
+          keep ~empty:(!sched_scale_rows = []) "sched_scale"
+          @@ Json.List !sched_scale_rows );
+        ( "sched_efficiency",
+          keep ~empty:(!sched_scale_rows = []) "sched_efficiency"
+          @@ Json.List !sched_efficiency_rows );
         ("history", Json.List history);
       ]
   in
@@ -1320,6 +1510,7 @@ let () =
   let tables = ref [] in
   let bechamel = ref false in
   let placement = ref false in
+  let sched = ref false in
   let replay = ref false in
   let inject = ref false in
   let quick = ref false in
@@ -1353,6 +1544,13 @@ let () =
             all := false;
             bechamel := true),
         "  run the bechamel micro-benchmarks only" );
+      ( "--sched",
+        Arg.Unit
+          (fun () ->
+            all := false;
+            sched := true),
+        "  run the scheduler scaling bench only (CAFT tasks/sec on the \
+         staged/pipelines workflow families)" );
       ( "--placement",
         Arg.Unit
           (fun () ->
@@ -1405,7 +1603,8 @@ let () =
     bechamel_benches ();
     placement_bench ~quick:!quick ();
     replay_bench ~quick:!quick ();
-    inject_bench ~quick:!quick ()
+    inject_bench ~quick:!quick ();
+    sched_bench ~quick:!quick ()
   end
   else begin
     if !figures <> [] then run_figures !figures !graphs !seed !domains;
@@ -1425,6 +1624,7 @@ let () =
       !tables;
     if !bechamel then bechamel_benches ();
     if !placement then placement_bench ~quick:!quick ();
+    if !sched then sched_bench ~quick:!quick ();
     if !replay then replay_bench ~quick:!quick ();
     if !inject then inject_bench ~quick:!quick ()
   end;

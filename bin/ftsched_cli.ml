@@ -60,7 +60,7 @@ let model_t =
 let family_t =
   let doc =
     "Task-graph family: random, fork, join, chain, out-tree, fork-join, \
-     stencil, gauss, butterfly, cholesky."
+     stencil, gauss, butterfly, cholesky, staged, pipelines."
   in
   Arg.(value & opt string "random" & info [ "family" ] ~docv:"FAMILY" ~doc)
 
@@ -84,6 +84,16 @@ let make_dag rng ~family ~tasks =
       (* choose the depth so a binary tree roughly reaches [tasks] nodes *)
       let depth = max 1 (int_of_float (Float.log2 (float_of_int (max 2 tasks)))) in
       Families.out_tree ~arity:2 ~depth ()
+  | "staged" ->
+      (* Montage-style staged fan-out/fan-in: 8 stages sized to [tasks] *)
+      let stages = 8 in
+      let width = max 1 (((max 2 tasks - 1) / stages) - 1) in
+      Families.staged_fanout ~stages ~width ()
+  | "pipelines" ->
+      (* lane bundle: depth-16 chains, lane count sized to [tasks] *)
+      let depth = 16 in
+      let lanes = max 1 ((max 3 tasks - 2) / depth) in
+      Families.parallel_chains ~lanes ~depth ()
   | "stencil" ->
       let width = max 2 (int_of_float (sqrt (float_of_int (max 4 tasks)))) in
       Families.stencil_1d ~width ~steps:(max 2 (tasks / width)) ()
@@ -281,13 +291,45 @@ let schedule_cmd =
       & opt (some string) None
       & info [ "dot" ] ~docv:"FILE" ~doc:"Export the task graph in DOT format.")
   in
-  let run seed m tasks epsilon granularity algo model family import gantt show_comm dot obs =
+  let stream_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stream" ] ~docv:"FILE"
+          ~doc:
+            "Stream the schedule to $(docv) while it is built instead of \
+             materializing it (CAFT only): the million-task path.  The file \
+             is the usual ftsched-schedule format; summary, validation, \
+             Gantt and DOT output are skipped.")
+  in
+  let run seed m tasks epsilon granularity algo model family import gantt
+      show_comm dot stream obs =
     with_obs obs @@ fun () ->
     let dag, costs = make_instance ?import ~seed ~family ~tasks ~m ~granularity () in
+    match stream with
+    | Some path ->
+        if algo <> `Caft then begin
+          Format.eprintf "--stream is only supported for CAFT@.";
+          1
+        end
+        else begin
+          Caft.run_stream ~model ~seed ~epsilon ~path costs;
+          Format.printf "streamed %d tasks x %d replicas to %s@."
+            (Dag.task_count dag) (epsilon + 1) path;
+          0
+        end
+    | None ->
     let sched = run_algo algo ~model ~seed ~epsilon costs in
     Format.printf "%a@." Schedule.pp_summary sched;
-    Format.printf "graph: %d tasks, %d edges, width %d, granularity %.2f@."
-      (Dag.task_count dag) (Dag.edge_count dag) (Dag.width dag)
+    (* width is quadratic (transitive closure); past the cap print n/a
+       instead of failing the whole run *)
+    let width =
+      if Dag.task_count dag <= Dag.transitive_closure_cap then
+        string_of_int (Dag.width dag)
+      else "n/a"
+    in
+    Format.printf "graph: %d tasks, %d edges, width %s, granularity %.2f@."
+      (Dag.task_count dag) (Dag.edge_count dag) width
       (Granularity.compute costs);
     (match Validate.run sched with
     | [] -> Format.printf "validation: ok@."
@@ -301,7 +343,8 @@ let schedule_cmd =
   let term =
     Term.(
       const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
-      $ model_t $ family_t $ import_t $ gantt_t $ comm_t $ dot_t $ obs_t)
+      $ model_t $ family_t $ import_t $ gantt_t $ comm_t $ dot_t $ stream_t
+      $ obs_t)
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Build one fault-tolerant schedule and inspect it")
@@ -611,8 +654,18 @@ let montecarlo_cmd =
              struct-of-arrays blocks (the report is identical either way; \
              this is the differential baseline).")
   in
+  let batch_block_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch-block" ] ~docv:"N"
+          ~doc:
+            "Scenarios per batched replay block (default 256).  Tunes the \
+             work-stealing granularity only; the report is identical for \
+             any N.")
+  in
   let run seed m tasks epsilon granularity algo model family runs crashes timed
-      domains no_batch obs =
+      domains no_batch batch_block obs =
     with_obs obs @@ fun () ->
     let _, costs = make_instance ~seed ~family ~tasks ~m ~granularity () in
     let sched = run_algo algo ~model ~seed ~epsilon costs in
@@ -628,7 +681,7 @@ let montecarlo_cmd =
       (Schedule.latency_zero_crash sched);
     let report =
       Monte_carlo.run ~seed:(seed + 1) ~runs ?domains ~batch:(not no_batch)
-        ~crashes ~mode sched
+        ?batch_block ~crashes ~mode sched
     in
     Format.printf "%a@." Monte_carlo.pp report;
     0
@@ -637,7 +690,7 @@ let montecarlo_cmd =
     Term.(
       const run $ seed_t $ m_t $ tasks_t $ epsilon_t $ granularity_t $ algo_t
       $ model_t $ family_t $ runs_t $ crashes_t $ timed_t $ domains_t
-      $ no_batch_t $ obs_t)
+      $ no_batch_t $ batch_block_t $ obs_t)
   in
   Cmd.v
     (Cmd.info "montecarlo" ~doc:"Monte-Carlo fault injection on one schedule")

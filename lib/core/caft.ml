@@ -2,15 +2,21 @@
    order, each task placed by the one-to-one/full-replication engine
    (Algorithm 5.2 with the support-set strengthening — see Caft_engine). *)
 
-let run ?(model = Netstate.One_port) ?fabric ?insertion ?(one_to_one = true)
-    ?(seed = 42) ~epsilon costs =
-  let engine =
-    Caft_engine.create ~model ?fabric ?insertion ~one_to_one ~epsilon costs
-  in
-  let rng = Rng.create seed in
+let algorithm_name ~one_to_one ~model =
+  let base = if one_to_one then "CAFT" else "CAFT-full" in
+  match model with
+  | Netstate.One_port -> base
+  | Netstate.Macro_dataflow -> base ^ "-macro"
+  | Netstate.Multiport k -> Printf.sprintf "%s-mp%d" base k
+
+(* The Algorithm 5.1 list-scheduling loop, shared by the in-memory and
+   streaming entry points (which differ only in engine construction and
+   in how the placements leave the engine). *)
+let place_all engine ~rng costs =
   let prio =
-    Obs_trace.with_span ~cat:"sched" "priorities" (fun () ->
-        Prio.create ~rng costs)
+    Obs_prof.phase ~trace:false ~cat:"sched" "caft.priorities" (fun () ->
+        Obs_trace.with_span ~cat:"sched" "priorities" (fun () ->
+            Prio.create ~rng costs))
   in
   let rec loop () =
     match Prio.pop prio with
@@ -25,15 +31,35 @@ let run ?(model = Netstate.One_port) ?fabric ?insertion ?(one_to_one = true)
           ~completion:(Caft_engine.completion_lower engine task);
         loop ()
   in
-  loop ();
-  let name =
-    let base = if one_to_one then "CAFT" else "CAFT-full" in
-    match model with
-    | Netstate.One_port -> base
-    | Netstate.Macro_dataflow -> base ^ "-macro"
-    | Netstate.Multiport k -> Printf.sprintf "%s-mp%d" base k
+  Obs_prof.phase ~trace:false ~cat:"sched" "caft.place" loop
+
+let run ?(model = Netstate.One_port) ?fabric ?insertion ?(one_to_one = true)
+    ?(seed = 42) ~epsilon costs =
+  let engine =
+    Caft_engine.create ~model ?fabric ?insertion ~one_to_one ~epsilon costs
   in
-  Caft_engine.to_schedule ~algorithm:name engine
+  place_all engine ~rng:(Rng.create seed) costs;
+  let name = algorithm_name ~one_to_one ~model in
+  Obs_prof.phase ~trace:false ~cat:"sched" "caft.freeze" (fun () ->
+      Caft_engine.to_schedule ~algorithm:name engine)
+
+let run_stream ?(model = Netstate.One_port) ?fabric
+    ?(insertion = false) ?(one_to_one = true) ?(seed = 42) ~epsilon ~path costs
+    =
+  let name = algorithm_name ~one_to_one ~model in
+  let writer =
+    Schedule_io.stream_writer ~insertion ~algorithm:name ~epsilon ~model ~path
+      costs
+  in
+  Fun.protect
+    ~finally:(fun () -> Schedule_io.stream_close writer)
+    (fun () ->
+      let engine =
+        Caft_engine.create ~model ?fabric ~insertion ~one_to_one
+          ~on_place:(Schedule_io.stream_replica writer)
+          ~epsilon costs
+      in
+      place_all engine ~rng:(Rng.create seed) costs)
 
 let fault_free ?model ?fabric ?insertion ?seed costs =
   let sched = run ?model ?fabric ?insertion ?seed ~epsilon:0 costs in

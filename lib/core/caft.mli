@@ -56,6 +56,26 @@ val run :
     [Invalid_argument] if the platform has fewer than [epsilon + 1]
     processors. *)
 
+val run_stream :
+  ?model:Netstate.model ->
+  ?fabric:Netstate.fabric ->
+  ?insertion:bool ->
+  ?one_to_one:bool ->
+  ?seed:int ->
+  epsilon:int ->
+  path:string ->
+  Costs.t ->
+  unit
+(** [run_stream ~epsilon ~path costs] builds the same CAFT schedule as
+    {!run} — identical placements, identical random tie-breaking — but
+    streams it to [path] in the {!Schedule_io} format instead of
+    materializing a {!Schedule.t}: each replica's communication record is
+    written as soon as the replica is placed and then dropped from
+    memory, so peak heap stays O(n + frontier) instead of O(edges).  The
+    file parses back with {!Schedule_io.of_file} to a schedule equal to
+    [run]'s (replica lines appear in placement order; parsing
+    renormalizes).  The million-task entry point. *)
+
 val fault_free :
   ?model:Netstate.model ->
   ?fabric:Netstate.fabric ->

@@ -74,23 +74,6 @@ let m_support_size =
     ~help:"locked support-set size of each committed replica"
     "caft.support_size"
 
-(* Estimated finish time of the communication shipping [volume] units from
-   replica [r] to processor [p] under the current network state — the sort
-   key of Algorithm 5.2 line 3.  Co-located replicas "finish" when the
-   replica itself does. *)
-let leg_finish_estimate net (r : Schedule.replica) ~volume ~dst =
-  let src = r.Schedule.r_proc in
-  if src = dst then r.Schedule.r_finish
-  else begin
-    let platform = Netstate.platform net in
-    let w = Platform.comm_time platform ~src ~dst ~volume in
-    let start =
-      Float.max (Netstate.send_free net src)
-        (Float.max r.Schedule.r_finish (Netstate.link_ready net ~src ~dst))
-    in
-    start +. w
-  end
-
 (* The input plan of one candidate placement: per predecessor, either a
    single one-to-one source or full replication. *)
 type input_mode = One_to_one of Schedule.replica | Full
@@ -103,149 +86,285 @@ type t = {
   epsilon : int;
   costs : Costs.t;
   one_to_one : bool;
-  supports : Bitset.t option array array;
+  (* supports.(task * (epsilon + 1) + idx): flattened rather than an array
+     of rows so a million-task run allocates one array, not n tiny ones *)
+  supports : Bitset.t option array;
+  (* Scratch state reused across every candidate evaluation — the inner
+     loop runs once per (task, replica, candidate processor) and used to
+     allocate a support bitset, a mode array and O(preds) closures per
+     call.  All of it lives on the engine now:
+
+     - [scratch_modes]: the input plan under construction (one slot per
+       predecessor, sized to the DAG's max in-degree); copied with
+       [Array.sub] only when a candidate becomes the incumbent;
+     - [scratch_support]: the combined support of the plan;
+     - [est_val]/[est_w]/[est_stamp]: memo table for the leg finish
+       estimate and leg duration, keyed by (predecessor slot, replica
+       index), valid while [stamp] matches — [plan_for] fills it and the
+       lower bounds reuse it, which is exact because the network state
+       does not change between the two (the trial booking happens
+       afterwards, and undoes itself). *)
+  scratch_modes : input_mode array;
+  scratch_support : Bitset.t;
+  (* [plan_for] settling state: per-processor coverage counts of the
+     one-to-one head supports, per-slot head cardinalities and the
+     demotion order under construction (see the settle loop) *)
+  scratch_cover : int array;
+  scratch_cards : int array;
+  scratch_order : int array;
+  est_val : float array;
+  est_w : float array;
+  est_stamp : int array;
+  mutable stamp : int;
+  platform : Platform.t;
+  (* streaming hook: called once per committed replica; when set, the
+     stored supply list is dropped right after the callback (placement
+     never reads it back — see the interface) *)
+  on_place : (Schedule.replica -> unit) option;
+  (* one-port receive serialization holds: the per-candidate lower bounds
+     may add the recv-port chaining term (see [ser_term]) *)
+  one_port : bool;
 }
 
-let create ?model ?fabric ?insertion ?(one_to_one = true) ~epsilon costs =
+let max_in_degree dag =
+  let worst = ref 0 in
+  for task = 0 to Dag.task_count dag - 1 do
+    worst := max !worst (Array.length (Dag.preds dag task))
+  done;
+  !worst
+
+let create ?model ?fabric ?insertion ?(one_to_one = true) ?on_place ~epsilon
+    costs =
   let ws = Workspace.create ?model ?fabric ?insertion ~epsilon costs in
+  let dag = Workspace.dag ws in
+  let max_preds = max_in_degree dag in
+  let est_cells = max 1 (max_preds * (epsilon + 1)) in
+  let m = Platform.proc_count (Workspace.platform ws) in
   {
     ws;
     net = Workspace.net ws;
-    dag = Workspace.dag ws;
-    m = Platform.proc_count (Workspace.platform ws);
+    dag;
+    m;
     epsilon;
     costs;
     one_to_one;
-    supports =
-      Array.init
-        (Dag.task_count (Workspace.dag ws))
-        (fun _ -> Array.make (epsilon + 1) None);
+    supports = Array.make (Dag.task_count dag * (epsilon + 1)) None;
+    scratch_modes = Array.make (max 1 max_preds) Full;
+    scratch_support = Bitset.create m;
+    scratch_cover = Array.make m 0;
+    scratch_cards = Array.make (max 1 max_preds) 0;
+    scratch_order = Array.make (max 1 max_preds) 0;
+    est_val = Array.make est_cells 0.;
+    est_w = Array.make est_cells 0.;
+    est_stamp = Array.make est_cells 0;
+    stamp = 0;
+    platform = Workspace.platform ws;
+    on_place;
+    one_port = Netstate.model (Workspace.net ws) = Netstate.One_port;
   }
 
 let epsilon t = t.epsilon
 let dag t = t.dag
 
 let support_of t task idx =
-  match t.supports.(task).(idx) with
+  match t.supports.((task * (t.epsilon + 1)) + idx) with
   | Some s -> s
   | None -> invalid_arg "Caft_engine: support of unplaced replica"
 
 let exec t task p = Costs.exec t.costs task p
 
+(* Estimated finish time of the communication shipping [volume] units from
+   replica [r] to processor [dst] under the current network state — the
+   sort key of Algorithm 5.2 line 3.  Co-located replicas "finish" when
+   the replica itself does.  Cached per (predecessor slot, replica index)
+   for the candidate processor stamped on the engine; the cache is exact,
+   not approximate: between [plan_for] and the lower bounds for one
+   candidate nothing touches the network state, so recomputing would
+   produce the identical float.  [est_w] keeps the leg duration alongside
+   ([-1.] for a co-located replica) so the one-port serialization bounds
+   never recompute [comm_time]. *)
+let est_cached t ~slot ~volume ~dst (r : Schedule.replica) =
+  let cell = (slot * (t.epsilon + 1)) + r.Schedule.r_index in
+  if t.est_stamp.(cell) = t.stamp then t.est_val.(cell)
+  else begin
+    let src = r.Schedule.r_proc in
+    let v =
+      if src = dst then begin
+        t.est_w.(cell) <- -1.;
+        r.Schedule.r_finish
+      end
+      else begin
+        let w = Platform.comm_time t.platform ~src ~dst ~volume in
+        let start =
+          Float.max (Netstate.send_free t.net src)
+            (Float.max r.Schedule.r_finish
+               (Netstate.link_ready t.net ~src ~dst))
+        in
+        t.est_w.(cell) <- w;
+        start +. w
+      end
+    in
+    t.est_val.(cell) <- v;
+    t.est_stamp.(cell) <- t.stamp;
+    v
+  end
+
+(* Leg duration of the replica whose estimate was just computed with
+   [est_cached] under the current stamp ([-1.] if co-located). *)
+let cached_w t ~slot (r : Schedule.replica) =
+  t.est_w.((slot * (t.epsilon + 1)) + r.Schedule.r_index)
+
 (* Build the input plan for candidate processor [p] given the supports
    locked by the sibling replicas: greedily give every predecessor its
    cheapest support-disjoint head, then demote the largest-support heads
-   to full replication until the combined support is admissible. *)
+   to full replication until the combined support is admissible.  The plan
+   is written into [t.scratch_modes] (first [Array.length preds] slots)
+   and the combined support into [t.scratch_support]; both are only valid
+   until the next call. *)
 let plan_for t ~preds ~locked ~remaining_after task p =
   ignore task;
-  let head_for (pred, volume) =
-    if not t.one_to_one then None
-    else
-    List.fold_left
-      (fun best r ->
-        if Bitset.disjoint (support_of t pred r.Schedule.r_index) locked then begin
-          let key = leg_finish_estimate t.net r ~volume ~dst:p in
-          match best with
-          | Some (bkey, _) when bkey <= key -> best
-          | _ -> Some (key, r)
-        end
-        else best)
-      None
-      (Workspace.placed t.ws pred)
-  in
-  let modes =
-    Array.map
-      (fun (pred, volume) ->
-        match head_for (pred, volume) with
-        | Some (_, r) -> (pred, volume, ref (One_to_one r))
-        | None -> (pred, volume, ref Full))
-      preds
-  in
+  let np = Array.length preds in
+  for slot = 0 to np - 1 do
+    let pred, volume = preds.(slot) in
+    let mode =
+      if not t.one_to_one then Full
+      else begin
+        let best = ref None in
+        for i = 0 to Workspace.placed_count t.ws pred - 1 do
+          let r = Workspace.get_placed t.ws pred i in
+          if Bitset.disjoint (support_of t pred r.Schedule.r_index) locked
+          then begin
+            let key = est_cached t ~slot ~volume ~dst:p r in
+            match !best with
+            | Some (bkey, _) when bkey <= key -> ()
+            | _ -> best := Some (key, r)
+          end
+        done;
+        match !best with Some (_, r) -> One_to_one r | None -> Full
+      end
+    in
+    t.scratch_modes.(slot) <- mode
+  done;
+  (* Settle admissibility. *)
   let support () =
-    let s = Bitset.singleton t.m p in
-    Array.iter
-      (fun (pred, _, mode) ->
-        match !mode with
-        | One_to_one r ->
-            Bitset.union_into ~into:s (support_of t pred r.Schedule.r_index)
-        | Full -> ())
-      modes;
+    let s = t.scratch_support in
+    Bitset.clear s;
+    Bitset.add s p;
+    for slot = 0 to np - 1 do
+      match t.scratch_modes.(slot) with
+      | One_to_one r ->
+          Bitset.union_into ~into:s
+            (support_of t r.Schedule.r_task r.Schedule.r_index)
+      | Full -> ()
+    done;
     s
   in
-  let admissible s =
-    t.m - Bitset.cardinal (Bitset.union locked s) >= remaining_after
-  in
-  let demote_largest () =
-    let worst = ref None in
-    Array.iter
-      (fun (_, _, mode) ->
-        match !mode with
+  let admissible s = t.m - Bitset.cardinal_union locked s >= remaining_after in
+  let s = support () in
+  if admissible s then Some s
+  else begin
+    (* Demotion path: turn heads into full replication until the combined
+       support leaves one unlocked processor per sibling still to place.
+       Head support cardinalities are static while settling (demotion
+       never changes a placed replica's support), so the demotion
+       sequence the old one-at-a-time largest-head rescan produced —
+       largest cardinality first, earliest slot on ties — is fixed up
+       front; the admissibility test is maintained through per-processor
+       coverage counts, O(support) per demotion instead of an O(np)
+       support rebuild.  Pure set/integer arithmetic: the demoted slot
+       set, hence the returned plan and support, is identical to the old
+       O(np^2) loop — which made the wide fan-in joins of the staged
+       family quadratic in their in-degree.  The no-demotion common case
+       above never pays for the counts. *)
+    let cover = t.scratch_cover in
+    Array.fill cover 0 t.m 0;
+    (* covered = |locked ∪ {p} ∪ (union of one-to-one head supports)| *)
+    let covered = ref (Bitset.cardinal_union locked s) in
+    let n_o2o = ref 0 in
+    for slot = 0 to np - 1 do
+      match t.scratch_modes.(slot) with
+      | One_to_one r ->
+          let hs = support_of t r.Schedule.r_task r.Schedule.r_index in
+          t.scratch_cards.(slot) <- Bitset.cardinal hs;
+          t.scratch_order.(!n_o2o) <- slot;
+          incr n_o2o;
+          Bitset.iter (fun q -> cover.(q) <- cover.(q) + 1) hs
+      | Full -> ()
+    done;
+    let admissible () = t.m - !covered >= remaining_after in
+    if !n_o2o > 0 then begin
+      let order = Array.sub t.scratch_order 0 !n_o2o in
+      Array.sort
+        (fun a b ->
+          let c = compare t.scratch_cards.(b) t.scratch_cards.(a) in
+          if c <> 0 then c else compare a b)
+        order;
+      let i = ref 0 in
+      while (not (admissible ())) && !i < !n_o2o do
+        let slot = order.(!i) in
+        (match t.scratch_modes.(slot) with
         | One_to_one r ->
-            let card =
-              Bitset.cardinal
-                (support_of t r.Schedule.r_task r.Schedule.r_index)
-            in
-            (match !worst with
-            | Some (wcard, _) when wcard >= card -> ()
-            | _ -> worst := Some (card, mode))
-        | Full -> ())
-      modes;
-    match !worst with
-    | Some (_, mode) ->
-        mode := Full;
-        true
-    | None -> false
-  in
-  let rec settle () =
-    let s = support () in
-    if admissible s then Some (modes, s)
-    else if demote_largest () then settle ()
-    else None (* even {p} inadmissible: p cannot host this replica *)
-  in
-  settle ()
+            t.scratch_modes.(slot) <- Full;
+            Bitset.iter
+              (fun q ->
+                cover.(q) <- cover.(q) - 1;
+                if cover.(q) = 0 && (not (Bitset.mem locked q)) && q <> p then
+                  decr covered)
+              (support_of t r.Schedule.r_task r.Schedule.r_index)
+        | Full -> assert false (* order holds one-to-one slots only *));
+        incr i
+      done
+    end;
+    if not (admissible ()) then None
+      (* even {p} inadmissible: p cannot host this replica *)
+    else Some (support ())
+  end
 
-let inputs_of_plan t modes =
-  Array.to_list
-    (Array.map
-       (fun (pred, volume, mode) ->
-         match !mode with
-         | One_to_one r -> (pred, [ Workspace.source_of_replica t.ws r ~volume ])
-         | Full ->
-             ( pred,
-               List.map
-                 (fun r -> Workspace.source_of_replica t.ws r ~volume)
-                 (Workspace.placed t.ws pred) ))
-       modes)
+let inputs_of_plan t ~preds modes =
+  List.init (Array.length preds) (fun slot ->
+      let pred, volume = preds.(slot) in
+      match modes.(slot) with
+      | One_to_one r -> (pred, [ Workspace.source_of_replica t.ws r ~volume ])
+      | Full ->
+          ( pred,
+            List.map
+              (fun r -> Workspace.source_of_replica t.ws r ~volume)
+              (Workspace.placed t.ws pred) ))
 
 (* The intra-processor suppression rule (a co-located supplier mutes the
    remote copies) is only safe for full-replication inputs when the
    co-located supplier cannot starve while [p] is alive, i.e. its support
    is exactly {p}. *)
-let colocate_exclusive_ok t modes p =
-  Array.for_all
-    (fun (pred, _, mode) ->
-      match !mode with
-      | One_to_one _ -> true
-      | Full -> (
-          match
-            List.find_opt
-              (fun r -> r.Schedule.r_proc = p)
-              (Workspace.placed t.ws pred)
-          with
-          | None -> true
-          | Some r ->
-              Bitset.equal
-                (support_of t pred r.Schedule.r_index)
-                (Bitset.singleton t.m p)))
-    modes
+let colocate_exclusive_ok t ~preds modes p =
+  let np = Array.length preds in
+  let rec slots_ok slot =
+    slot >= np
+    ||
+    match modes.(slot) with
+    | One_to_one _ -> slots_ok (slot + 1)
+    | Full ->
+        let pred, _ = preds.(slot) in
+        let count = Workspace.placed_count t.ws pred in
+        let rec find i =
+          if i >= count then true
+          else begin
+            let r = Workspace.get_placed t.ws pred i in
+            if r.Schedule.r_proc = p then
+              Bitset.equal_singleton (support_of t pred r.Schedule.r_index) p
+            else find (i + 1)
+          end
+        in
+        find 0 && slots_ok (slot + 1)
+  in
+  slots_ok 0
 
-let book t task p modes =
-  if Array.length modes = 0 then
+let book t task p ~preds modes =
+  if Array.length preds = 0 then
     Netstate.book_exec_only t.net ~proc:p ~exec:(exec t task p)
   else
     Netstate.book_replica t.net ~proc:p ~exec:(exec t task p)
-      ~inputs:(inputs_of_plan t modes)
-      ~colocate_exclusive:(colocate_exclusive_ok t modes p)
+      ~inputs:(inputs_of_plan t ~preds modes)
+      ~colocate_exclusive:(colocate_exclusive_ok t ~preds modes p)
 
 (* Admissible lower bound on the finish time the trial booking of
    candidate [p] could achieve under the plan [modes].  Every term is a
@@ -259,68 +378,180 @@ let book t task p modes =
      (bookings within the trial only push SF/R/RF forward), a
      full-replication input before the cheapest estimate over all placed
      replicas (actual readiness is a min over arrivals, each at least its
-     replica's estimate).
+     replica's estimate);
+   - one-port receive serialization: a predecessor with no replica
+     co-located with [p] needs at least one whole leg across [p]'s single
+     receive port, contributing at least its cheapest leg duration.
+     Summed over such predecessors these legs are distinct and chain on
+     the same port starting no earlier than [recv_free p], so
+
+       b_finish >= recv_free p + sum_i w_min_i + exec
+
+     is a true lower bound of the booking (arrival chaining in
+     [Netstate.book_replica]); it is what prunes far-away candidates of
+     the wide fan-in gathers without a trial.  The chain anchored at
+     [recv_free] only exists if at least one predecessor actually crosses
+     the port, and only under the one-port model — multiport splits the
+     chain over k slots and macro-dataflow has no receive port at all.
 
    The bound uses the same float operations as the booking (max, +.),
    which are monotone, so [finish_lower_bound <= booked.b_finish] holds
    exactly, not just approximately — pruning on it can never skip a
    candidate that would have beaten the incumbent, and the argmin (ties
    kept on the incumbent) is byte-identical to exhaustive evaluation. *)
-let finish_lower_bound t task p modes =
+let finish_lower_bound t p ~preds ~e modes =
+  let data_lb = ref 0. in
+  let ser_sum = ref 0. in
+  let any_remote = ref false in
+  for slot = 0 to Array.length preds - 1 do
+    let pred, volume = preds.(slot) in
+    let lb =
+      match modes.(slot) with
+      | One_to_one r ->
+          let est = est_cached t ~slot ~volume ~dst:p r in
+          if t.one_port then begin
+            (* the chosen head is that predecessor's only source *)
+            let w = cached_w t ~slot r in
+            if w >= 0. then begin
+              any_remote := true;
+              ser_sum := !ser_sum +. w
+            end
+          end;
+          est
+      | Full ->
+          let best = ref infinity in
+          let local = ref false in
+          let w_min = ref infinity in
+          for i = 0 to Workspace.placed_count t.ws pred - 1 do
+            let r = Workspace.get_placed t.ws pred i in
+            best := Float.min !best (est_cached t ~slot ~volume ~dst:p r);
+            if t.one_port then begin
+              let w = cached_w t ~slot r in
+              if w < 0. then local := true
+              else w_min := Float.min !w_min w
+            end
+          done;
+          if t.one_port && not !local then begin
+            (* a co-located replica may feed the input through the local
+               supply without ever crossing the port *)
+            any_remote := true;
+            ser_sum := !ser_sum +. !w_min
+          end;
+          !best
+    in
+    data_lb := Float.max !data_lb lb
+  done;
   let data_lb =
-    Array.fold_left
-      (fun acc (pred, volume, mode) ->
-        let est r = leg_finish_estimate t.net r ~volume ~dst:p in
-        let lb =
-          match !mode with
-          | One_to_one r -> est r
-          | Full ->
-              List.fold_left
-                (fun best r -> Float.min best (est r))
-                infinity
-                (Workspace.placed t.ws pred)
-        in
-        Float.max acc lb)
-      0. modes
+    if !any_remote then
+      Float.max !data_lb (Netstate.recv_free t.net p +. !ser_sum)
+    else !data_lb
   in
   let ready_lb =
     if Netstate.insertion t.net then 0. else Netstate.proc_ready t.net p
   in
-  Float.max ready_lb data_lb +. exec t task p
+  Float.max ready_lb data_lb +. e
 
 (* Evaluate every unlocked processor and return the placement with the
    earliest finish, without committing anything.  Candidates whose lower
    bound cannot beat the incumbent are skipped without a trial booking. *)
-let best_placement t ~preds ~locked ~remaining_after task =
-  let candidates = Bitset.complement_elements locked in
-  let evaluated = ref 0 and pruned = ref 0 in
-  let result =
-    Obs_metrics.suppressed (fun () ->
-        List.fold_left
-          (fun best p ->
-            match plan_for t ~preds ~locked ~remaining_after task p with
-            | None -> best
-            | Some (modes, s) -> (
-                match best with
-                | Some (bf, _, _, _)
-                  when finish_lower_bound t task p modes >= bf ->
-                    incr pruned;
-                    best
-                | _ -> (
-                    incr evaluated;
-                    let booked =
-                      Netstate.with_trial t.net (fun () -> book t task p modes)
-                    in
-                    match best with
-                    | Some (bf, _, _, _) when bf <= booked.Netstate.b_finish ->
-                        best
-                    | _ -> Some (booked.Netstate.b_finish, p, modes, s))))
-          None candidates)
+(* Weakening of {!finish_lower_bound} that needs no input plan: for every
+   predecessor, the data cannot be ready before the cheapest leg estimate
+   over *all* its placed replicas — a lower bound on both the one-to-one
+   estimate (whose head is drawn from a subset) and the full-replication
+   minimum (which it equals).  Combined with the {!ser_term} chain under
+   one-port.  Monotone accumulation, so the check can bail out per
+   predecessor: once the partial bound reaches the incumbent no later
+   predecessor can lower it. *)
+let weak_prune t p ~preds ~e ~bound =
+  let ready_lb =
+    if Netstate.insertion t.net then 0. else Netstate.proc_ready t.net p
   in
+  if Float.max ready_lb 0. +. e >= bound then true
+  else begin
+    let lb = ref ready_lb in
+    let rf0 = if t.one_port then Netstate.recv_free t.net p else 0. in
+    let ser_sum = ref 0. in
+    let any_remote = ref false in
+    let np = Array.length preds in
+    let slot = ref 0 in
+    let dead = ref false in
+    while (not !dead) && !slot < np do
+      let pred, volume = preds.(!slot) in
+      let best = ref infinity in
+      let local = ref false in
+      let w_min = ref infinity in
+      for i = 0 to Workspace.placed_count t.ws pred - 1 do
+        let r = Workspace.get_placed t.ws pred i in
+        best := Float.min !best (est_cached t ~slot:!slot ~volume ~dst:p r);
+        if t.one_port then begin
+          let w = cached_w t ~slot:!slot r in
+          if w < 0. then local := true else w_min := Float.min !w_min w
+        end
+      done;
+      lb := Float.max !lb !best;
+      if t.one_port && not !local then begin
+        any_remote := true;
+        ser_sum := !ser_sum +. !w_min
+      end;
+      let ser = if !any_remote then rf0 +. !ser_sum else 0. in
+      if Float.max !lb ser +. e >= bound then dead := true;
+      incr slot
+    done;
+    !dead
+  end
+
+let best_placement t ~preds ~locked ~remaining_after task =
+  let evaluated = ref 0 and pruned = ref 0 in
+  let np = Array.length preds in
+  let best = ref None in
+  Obs_metrics.suppressed (fun () ->
+      (* unlocked processors in ascending order (the fold order of the
+         previous list-based walk — the argmin tie-break depends on it) *)
+      for p = 0 to t.m - 1 do
+        if not (Bitset.mem locked p) then begin
+          t.stamp <- t.stamp + 1;
+          let e = exec t task p in
+          (* staged pruning: each stage's bound under-approximates the
+             next, so a candidate pruned here is exactly one the
+             exhaustive fold would have rejected — argmin unchanged *)
+          match !best with
+          | Some (bf, _, _, _) when weak_prune t p ~preds ~e ~bound:bf ->
+              incr pruned
+          | _ -> (
+              match plan_for t ~preds ~locked ~remaining_after task p with
+              | None -> ()
+              | Some s -> (
+                  let modes = t.scratch_modes in
+                  match !best with
+                  | Some (bf, _, _, _)
+                    when finish_lower_bound t p ~preds ~e modes >= bf ->
+                      incr pruned
+                  | _ -> (
+                      incr evaluated;
+                      let booked =
+                        Netstate.with_trial t.net (fun () ->
+                            book t task p ~preds modes)
+                      in
+                      match !best with
+                      | Some (bf, _, _, _) when bf <= booked.Netstate.b_finish
+                        ->
+                          ()
+                      | _ ->
+                          (* the incumbent must survive the next
+                             candidate's plan_for, so snapshot the
+                             scratch plan/support *)
+                          best :=
+                            Some
+                              ( booked.Netstate.b_finish,
+                                p,
+                                Array.sub modes 0 np,
+                                Bitset.copy s ))))
+        end
+      done);
   (* recorded outside [suppressed], which mutes the current domain *)
   Obs_metrics.incr ~by:!evaluated m_candidates;
   Obs_metrics.incr ~by:!pruned m_pruned;
-  result
+  !best
 
 let schedule_task t task =
   let preds = Dag.preds t.dag task in
@@ -334,18 +565,23 @@ let schedule_task t task =
            on such a processor is always admissible *)
         failwith "Caft_engine: no candidate processor (invariant broken)"
     | Some (_, p, modes, s) ->
-        let booked = book t task p modes in
+        let booked = book t task p ~preds modes in
         let r = Workspace.place t.ws ~task ~proc:p booked in
         Array.iter
-          (fun (_, _, mode) ->
-            match !mode with
+          (fun mode ->
+            match mode with
             | One_to_one _ -> Obs_metrics.incr m_one_to_one
             | Full -> Obs_metrics.incr m_full_replication)
           modes;
         Obs_metrics.observe m_support_size
           (float_of_int (Bitset.cardinal s));
-        t.supports.(task).(r.Schedule.r_index) <- Some s;
-        Bitset.union_into ~into:locked s
+        t.supports.((task * (t.epsilon + 1)) + r.Schedule.r_index) <- Some s;
+        Bitset.union_into ~into:locked s;
+        match t.on_place with
+        | None -> ()
+        | Some f ->
+            f r;
+            Workspace.strip_inputs t.ws ~task ~index:r.Schedule.r_index
   in
   for i = 1 to t.epsilon + 1 do
     place_one ~remaining_after:(t.epsilon + 1 - i)

@@ -15,6 +15,7 @@ val create :
   ?fabric:Netstate.fabric ->
   ?insertion:bool ->
   ?one_to_one:bool ->
+  ?on_place:(Schedule.replica -> unit) ->
   epsilon:int ->
   Costs.t ->
   t
@@ -22,7 +23,16 @@ val create :
     mapping; with [false] every input uses full replication — the
     ablation that isolates the paper's core mechanism.  Raises
     [Invalid_argument] if the platform has fewer than [epsilon + 1]
-    processors. *)
+    processors.
+
+    [on_place] is called once per committed replica, immediately after
+    its support set is recorded — the streaming hook.  After the callback
+    returns, the engine drops the replica's stored communication record
+    ([r_inputs]): later placements only read a replica's task, index,
+    processor and finish time, so the placement decisions (and any
+    schedule streamed from the callback) are byte-identical while the
+    O(edges) supply lists stop accumulating.  {!to_schedule} must not be
+    used on an engine created with [on_place]. *)
 
 val epsilon : t -> int
 val dag : t -> Dag.t

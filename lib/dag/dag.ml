@@ -10,29 +10,56 @@ type t = {
 
 exception Cycle of task list
 
-(* Depth-first topological sort; raises [Cycle] with a witness. *)
+(* Depth-first topological sort; raises [Cycle] with a witness.  The DFS
+   runs on an explicit stack — recursion depth equals the longest path,
+   which overflows the OCaml stack on the 10^5-deep chains the workflow
+   families can produce.  The frame stack replays the recursive version
+   exactly (same visit order, same witness), so the [topo] array — and
+   everything downstream that iterates it, schedules included — is
+   byte-identical to the recursive implementation's. *)
 let topo_sort n succs =
   let state = Array.make n `White in
   let order = ref [] in
-  let rec visit path u =
-    match state.(u) with
-    | `Black -> ()
-    | `Gray ->
-        (* [u] is on the current path: extract the cycle. *)
-        let rec cut acc = function
-          | [] -> acc
-          | x :: _ when x = u -> u :: acc
-          | x :: rest -> cut (x :: acc) rest
-        in
-        raise (Cycle (cut [] path))
-    | `White ->
-        state.(u) <- `Gray;
-        Array.iter (fun (v, _) -> visit (u :: path) v) succs.(u);
-        state.(u) <- `Black;
-        order := u :: !order
+  (* a frame is (task, index of the next successor to visit) *)
+  let stack = ref [] in
+  let cycle_witness u =
+    (* the gray frames top-to-bottom are the recursive call path *)
+    let path = List.map fst !stack in
+    let rec cut acc = function
+      | [] -> acc
+      | x :: _ when x = u -> u :: acc
+      | x :: rest -> cut (x :: acc) rest
+    in
+    raise (Cycle (cut [] path))
+  in
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | (u, i) :: rest ->
+        if i >= Array.length succs.(u) then begin
+          state.(u) <- `Black;
+          order := u :: !order;
+          stack := rest;
+          drain ()
+        end
+        else begin
+          stack := (u, i + 1) :: rest;
+          let v, _ = succs.(u).(i) in
+          (match state.(v) with
+          | `Black -> ()
+          | `Gray -> cycle_witness v
+          | `White ->
+              state.(v) <- `Gray;
+              stack := (v, 0) :: !stack);
+          drain ()
+        end
   in
   for u = 0 to n - 1 do
-    visit [] u
+    if state.(u) = `White then begin
+      state.(u) <- `Gray;
+      stack := [ (u, 0) ];
+      drain ()
+    end
   done;
   Array.of_list !order
 
@@ -170,8 +197,17 @@ let longest_path_length t =
     Array.fold_left max 1 depth
   end
 
+let transitive_closure_cap = 10_000
+
 let transitive_closure t =
   let n = task_count t in
+  if n > transitive_closure_cap then
+    invalid_arg
+      (Printf.sprintf
+         "Dag.transitive_closure: %d tasks exceed the %d-task cap (the \
+          reachability matrix is O(n^2) words); width/transitive_reduction \
+          are not large-n safe"
+         n transitive_closure_cap);
   let reach = Array.init n (fun _ -> Array.make n false) in
   for i = 0 to n - 1 do
     reach.(i).(i) <- true

@@ -101,21 +101,32 @@ val fold_tasks : (task -> 'a -> 'a) -> t -> 'a -> 'a
 val longest_path_length : t -> int
 (** Number of {e nodes} on a longest (hop-count) path. *)
 
+val transitive_closure_cap : int
+(** Largest task count {!transitive_closure} accepts (10_000).  The
+    reachability matrix is O(n²) words — a million-task DAG would need
+    terabytes — so the quadratic analyses fail fast instead of OOMing.
+    Large-n safe analyses: {!topological_order}, {!longest_path_length},
+    {!entries}/{!exits}, degree queries, and every scheduler; not large-n
+    safe: {!transitive_closure}, {!width}, {!transitive_reduction}. *)
+
 val transitive_closure : t -> bool array array
 (** [reach.(i).(j)] iff there is a (possibly empty) path from [i] to [j];
     the diagonal is [true].  O(v·e) bitset-free computation, fine for the
-    graph sizes of the paper. *)
+    graph sizes of the paper.  Raises [Invalid_argument] (naming
+    {!transitive_closure_cap}) beyond the cap. *)
 
 val width : t -> int
 (** The width [omega] of the DAG: the maximum number of pairwise
     independent tasks (maximum antichain of the precedence partial order).
     Computed exactly via Mirsky/Dilworth using a minimum path cover of the
-    transitive closure (Hopcroft–Karp matching). *)
+    transitive closure (Hopcroft–Karp matching).  Inherits the
+    {!transitive_closure_cap} task-count cap. *)
 
 val transitive_reduction : t -> t
 (** The minimum sub-DAG with the same reachability relation: every edge
     [u -> v] such that [v] is reachable from [u] through a longer path is
-    removed (volumes of kept edges are preserved).  Unique for DAGs. *)
+    removed (volumes of kept edges are preserved).  Unique for DAGs.
+    Inherits the {!transitive_closure_cap} task-count cap. *)
 
 val induced_subgraph : t -> task list -> t * task array
 (** [induced_subgraph g keep] is the sub-DAG induced by [keep] (must

@@ -117,6 +117,27 @@ let metrics doc =
         (num "windows_ns_per_plan" r)
         Lower_better)
     (rows "inject" doc);
+  (* Scheduler scaling.  Absolute tasks/sec varies with the machine class,
+     so those keys are advisory (prefix deliberately outside the
+     "sched_scale" filter the CI gate uses); the same-run scaling
+     efficiency tps(1e4)/tps(1e3) is a within-host ratio and carries the
+     gating prefix. *)
+  List.iter
+    (fun r ->
+      push
+        (Printf.sprintf "sched_throughput/%s/n=%s/m=%s tasks_per_sec"
+           (str_key "family" r) (int_key "n" r) (int_key "m" r))
+        (num "tasks_per_sec" r)
+        Higher_better)
+    (rows "sched_scale" doc);
+  List.iter
+    (fun r ->
+      push
+        (Printf.sprintf "sched_scale/%s/m=%s efficiency_1e4_over_1e3"
+           (str_key "family" r) (int_key "m" r))
+        (num "efficiency_1e4_over_1e3" r)
+        Higher_better)
+    (rows "sched_efficiency" doc);
   List.rev !out
 
 (* -- comparison --------------------------------------------------------- *)

@@ -40,9 +40,21 @@ type fabric = {
 }
 
 (* Clique fabric: one dedicated physical link per ordered processor
-   pair. *)
+   pair.  Routes are memoized: [link_ready] asks for one on every leg
+   estimate of the placement inner loop, and a fresh cons cell per call
+   is measurable GC pressure at 10^5+ tasks. *)
 let clique_fabric m =
-  { phys_count = m * m; route = (fun src dst -> [ (src * m) + dst ]) }
+  let routes = Array.make (m * m) [] in
+  let route src dst =
+    let l = (src * m) + dst in
+    match routes.(l) with
+    | [] ->
+        let r = [ l ] in
+        routes.(l) <- r;
+        r
+    | r -> r
+  in
+  { phys_count = m * m; route }
 
 type outage = {
   o_src : Platform.proc;
@@ -212,8 +224,11 @@ let with_trial t f =
 let proc_ready t p = t.ready.(p)
 
 (* the earliest-free slot of a port; with one slot this is the paper's
-   scalar SF/RF *)
-let min_slot slots = Array.fold_left Float.min infinity slots
+   scalar SF/RF — fast-pathed because the one-port model queries it once
+   per candidate leg estimate in the placement inner loop *)
+let min_slot slots =
+  if Array.length slots = 1 then Array.unsafe_get slots 0
+  else Array.fold_left Float.min infinity slots
 
 let argmin_slot slots =
   let best = ref 0 in
@@ -224,8 +239,10 @@ let send_free t p = min_slot t.sf.(p)
 let recv_free t p = min_slot t.rf.(p)
 
 let link_ready t ~src ~dst =
-  List.fold_left (fun acc l -> Float.max acc t.phys.(l)) 0.
-    (t.fabric.route src dst)
+  match t.fabric.route src dst with
+  | [] -> 0.
+  | [ l ] -> t.phys.(l) (* clique fast path: no closure, no fold *)
+  | route -> List.fold_left (fun acc l -> Float.max acc t.phys.(l)) 0. route
 
 type source = {
   s_task : Dag.task;
@@ -344,12 +361,17 @@ let book_replica ?(colocate_exclusive = true) t ~proc ~exec ~inputs =
      deterministically. *)
   let all_remote = List.concat_map (fun (_, _, remote) -> remote) remote_of_pred in
   let all_remote =
-    List.stable_sort
-      (fun a b ->
-        let c = compare a.s_finish b.s_finish in
-        if c <> 0 then c
-        else compare (a.s_proc, a.s_task, a.s_replica) (b.s_proc, b.s_task, b.s_replica))
-      all_remote
+    match all_remote with
+    | [] | [ _ ] -> all_remote (* sorting is the identity; skip the pass *)
+    | _ ->
+        List.stable_sort
+          (fun a b ->
+            let c = compare a.s_finish b.s_finish in
+            if c <> 0 then c
+            else
+              compare (a.s_proc, a.s_task, a.s_replica)
+                (b.s_proc, b.s_task, b.s_replica))
+          all_remote
   in
   let legs =
     List.map
@@ -362,9 +384,10 @@ let book_replica ?(colocate_exclusive = true) t ~proc ~exec ~inputs =
   (* Serialize arrivals on the receive port in non-decreasing link finish
      order (equation (6), with the arrival-chaining fix). *)
   let legs =
-    List.stable_sort
-      (fun (_, _, _, f1) (_, _, _, f2) -> compare f1 f2)
-      legs
+    match legs with
+    | [] | [ _ ] -> legs
+    | _ ->
+        List.stable_sort (fun (_, _, _, f1) (_, _, _, f2) -> compare f1 f2) legs
   in
   let messages =
     match t.model with
@@ -406,17 +429,38 @@ let book_replica ?(colocate_exclusive = true) t ~proc ~exec ~inputs =
      built in one pass over [messages], instead of re-scanning the whole
      message list per remote source (which made booking O(k^2) in the
      in-degree). *)
-  let arrivals = Hashtbl.create 16 in
-  List.iter
-    (fun m ->
-      Hashtbl.replace arrivals
-        (m.m_source.s_task, m.m_source.s_replica, m.m_source.s_proc)
-        m.m_arrival)
-    messages;
-  let arrival_of s =
-    match Hashtbl.find_opt arrivals (s.s_task, s.s_replica, s.s_proc) with
-    | Some a -> a
-    | None -> infinity
+  let arrival_of =
+    (* short bookings (the common case in the placement trial loop) scan
+       the message list directly; wide fan-ins keep the hashtable so the
+       lookup stays O(1) in the in-degree.  Both return the arrival of
+       the *last* matching message, like [Hashtbl.replace] did. *)
+    match messages with
+    | [] | [ _; _; _; _ ] | [ _; _; _ ] | [ _; _ ] | [ _ ] ->
+        fun s ->
+          let best = ref infinity in
+          List.iter
+            (fun m ->
+              if
+                m.m_source.s_task = s.s_task
+                && m.m_source.s_replica = s.s_replica
+                && m.m_source.s_proc = s.s_proc
+              then best := m.m_arrival)
+            messages;
+          !best
+    | _ ->
+        let arrivals = Hashtbl.create 16 in
+        List.iter
+          (fun m ->
+            Hashtbl.replace arrivals
+              (m.m_source.s_task, m.m_source.s_replica, m.m_source.s_proc)
+              m.m_arrival)
+          messages;
+        fun s ->
+          match
+            Hashtbl.find_opt arrivals (s.s_task, s.s_replica, s.s_proc)
+          with
+          | Some a -> a
+          | None -> infinity
   in
   let data_ready =
     List.fold_left

@@ -28,7 +28,13 @@ let create ~rng costs =
   let tl = Levels.dynamic_top_levels levels in
   let bl = Array.init n (fun i -> Levels.bottom_level levels i) in
   let tiebreaks = Array.init n (fun _ -> Rng.float rng 1.0) in
-  let free = Heap.create ~cmp:cmp_entry in
+  (* Pre-size to the task count: the free list can hold a whole frontier
+     (n - 1 tasks on a fork), and doubling-growth churn matters at 1e5+. *)
+  let free =
+    Heap.with_capacity ~cmp:cmp_entry
+      ~dummy:{ task = -1; prio = 0.; tiebreak = 0. }
+      n
+  in
   let unscheduled_preds = Array.init n (fun i -> Dag.in_degree dag i) in
   List.iter
     (fun task ->

@@ -2,69 +2,77 @@ exception Parse_error of { line : int; message : string }
 
 let fl x = Printf.sprintf "%.17g" x
 
-let to_string sched =
-  let buf = Buffer.create 4096 in
-  let dag = Schedule.dag sched in
-  let platform = Schedule.platform sched in
-  let costs = Schedule.costs sched in
+(* Shared emitters: [to_string] and the streaming writer both go through
+   these, so the two paths produce identical bytes for identical content
+   by construction (line order aside — see [stream_writer]). *)
+
+let emit_instance add ~algorithm ~epsilon ~model ~insertion costs =
+  let dag = Costs.dag costs in
+  let platform = Costs.platform costs in
   let v = Dag.task_count dag and m = Platform.proc_count platform in
-  Buffer.add_string buf "ftsched-schedule v1\n";
-  Buffer.add_string buf (Printf.sprintf "algorithm %s\n" (Schedule.algorithm sched));
-  Buffer.add_string buf (Printf.sprintf "epsilon %d\n" (Schedule.epsilon sched));
-  Buffer.add_string buf
+  add "ftsched-schedule v1\n";
+  add (Printf.sprintf "algorithm %s\n" algorithm);
+  add (Printf.sprintf "epsilon %d\n" epsilon);
+  add
     (Printf.sprintf "model %s\n"
-       (match Schedule.model sched with
+       (match model with
        | Netstate.One_port -> "one-port"
        | Netstate.Macro_dataflow -> "macro-dataflow"
        | Netstate.Multiport k -> Printf.sprintf "multiport-%d" k));
-  if Schedule.insertion sched then Buffer.add_string buf "insertion true\n";
-  Buffer.add_string buf (Printf.sprintf "tasks %d\n" v);
-  Buffer.add_string buf (Printf.sprintf "procs %d\n" m);
+  if insertion then add "insertion true\n";
+  add (Printf.sprintf "tasks %d\n" v);
+  add (Printf.sprintf "procs %d\n" m);
   for t = 0 to v - 1 do
-    Buffer.add_string buf (Printf.sprintf "task %d %s\n" t (Dag.name dag t))
+    add (Printf.sprintf "task %d %s\n" t (Dag.name dag t))
   done;
   Dag.iter_edges
-    (fun src dst vol ->
-      Buffer.add_string buf (Printf.sprintf "edge %d %d %s\n" src dst (fl vol)))
+    (fun src dst vol -> add (Printf.sprintf "edge %d %d %s\n" src dst (fl vol)))
     dag;
   for k = 0 to m - 1 do
     for h = 0 to m - 1 do
       if k <> h then
-        Buffer.add_string buf
+        add
           (Printf.sprintf "delay %d %d %s\n" k h (fl (Platform.delay platform k h)))
     done
   done;
   for t = 0 to v - 1 do
     for p = 0 to m - 1 do
-      Buffer.add_string buf
-        (Printf.sprintf "cost %d %d %s\n" t p (fl (Costs.exec costs t p)))
+      add (Printf.sprintf "cost %d %d %s\n" t p (fl (Costs.exec costs t p)))
     done
-  done;
+  done
+
+let emit_replica add (r : Schedule.replica) =
+  add
+    (Printf.sprintf "replica %d %d %d %s %s\n" r.Schedule.r_task
+       r.Schedule.r_index r.Schedule.r_proc (fl r.Schedule.r_start)
+       (fl r.Schedule.r_finish));
   List.iter
-    (fun (r : Schedule.replica) ->
-      Buffer.add_string buf
-        (Printf.sprintf "replica %d %d %d %s %s\n" r.Schedule.r_task
-           r.Schedule.r_index r.Schedule.r_proc (fl r.Schedule.r_start)
-           (fl r.Schedule.r_finish));
-      List.iter
-        (function
-          | Schedule.Local { l_pred; l_pred_replica; l_finish } ->
-              Buffer.add_string buf
-                (Printf.sprintf "local %d %d %d %d %s\n" r.Schedule.r_task
-                   r.Schedule.r_index l_pred l_pred_replica (fl l_finish))
-          | Schedule.Message msg ->
-              let s = msg.Netstate.m_source in
-              Buffer.add_string buf
-                (Printf.sprintf "message %d %d %d %d %d %s %s %d %s %s %s %s\n"
-                   r.Schedule.r_task r.Schedule.r_index s.Netstate.s_task
-                   s.Netstate.s_replica s.Netstate.s_proc
-                   (fl s.Netstate.s_finish) (fl s.Netstate.s_volume)
-                   msg.Netstate.m_dst_proc (fl msg.Netstate.m_duration)
-                   (fl msg.Netstate.m_leg_start) (fl msg.Netstate.m_leg_finish)
-                   (fl msg.Netstate.m_arrival)))
-        r.Schedule.r_inputs)
-    (Schedule.all_replicas sched);
-  Buffer.add_string buf "end\n";
+    (function
+      | Schedule.Local { l_pred; l_pred_replica; l_finish } ->
+          add
+            (Printf.sprintf "local %d %d %d %d %s\n" r.Schedule.r_task
+               r.Schedule.r_index l_pred l_pred_replica (fl l_finish))
+      | Schedule.Message msg ->
+          let s = msg.Netstate.m_source in
+          add
+            (Printf.sprintf "message %d %d %d %d %d %s %s %d %s %s %s %s\n"
+               r.Schedule.r_task r.Schedule.r_index s.Netstate.s_task
+               s.Netstate.s_replica s.Netstate.s_proc (fl s.Netstate.s_finish)
+               (fl s.Netstate.s_volume) msg.Netstate.m_dst_proc
+               (fl msg.Netstate.m_duration) (fl msg.Netstate.m_leg_start)
+               (fl msg.Netstate.m_leg_finish) (fl msg.Netstate.m_arrival)))
+    r.Schedule.r_inputs
+
+let to_string sched =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  emit_instance add
+    ~algorithm:(Schedule.algorithm sched)
+    ~epsilon:(Schedule.epsilon sched) ~model:(Schedule.model sched)
+    ~insertion:(Schedule.insertion sched)
+    (Schedule.costs sched);
+  List.iter (emit_replica add) (Schedule.all_replicas sched);
+  add "end\n";
   Buffer.contents buf
 
 let to_file path sched =
@@ -72,6 +80,30 @@ let to_file path sched =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string sched))
+
+(* -- streaming writer --------------------------------------------------- *)
+
+type writer = { oc : out_channel; mutable state : [ `Open | `Closed ] }
+
+let stream_writer ?(insertion = false) ~algorithm ~epsilon ~model ~path costs =
+  let oc = open_out path in
+  (try emit_instance (output_string oc) ~algorithm ~epsilon ~model ~insertion costs
+   with exn ->
+     close_out_noerr oc;
+     raise exn);
+  { oc; state = `Open }
+
+let stream_replica w r =
+  if w.state = `Closed then invalid_arg "Schedule_io.stream_replica: closed";
+  emit_replica (output_string w.oc) r
+
+let stream_close w =
+  if w.state = `Open then begin
+    w.state <- `Closed;
+    Fun.protect
+      ~finally:(fun () -> close_out w.oc)
+      (fun () -> output_string w.oc "end\n")
+  end
 
 (* -- parsing ------------------------------------------------------------ *)
 

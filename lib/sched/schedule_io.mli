@@ -31,6 +31,38 @@ val to_string : Schedule.t -> string
 
 val to_file : string -> Schedule.t -> unit
 
+(** {1 Streaming writer}
+
+    Incremental emission for schedules too large to hold in memory: the
+    instance header (graph, delays, costs) is written on creation, each
+    replica with its supplies as it is placed, and the terminating [end]
+    on close.  The format is the same as {!to_string}, so a streamed file
+    parses back with {!of_file}; replica lines appear in placement order
+    rather than task-id order, which {!Schedule.create} renormalizes on
+    parse — re-serializing the parsed schedule yields the exact
+    {!to_string} bytes of the equivalent in-memory schedule. *)
+
+type writer
+
+val stream_writer :
+  ?insertion:bool ->
+  algorithm:string ->
+  epsilon:int ->
+  model:Netstate.model ->
+  path:string ->
+  Costs.t ->
+  writer
+(** Opens [path] for writing and emits the instance header.  The channel
+    is closed (and the partial file left behind) if header emission
+    raises. *)
+
+val stream_replica : writer -> Schedule.replica -> unit
+(** Appends one replica and its supply lines.  Raises [Invalid_argument]
+    if the writer is closed. *)
+
+val stream_close : writer -> unit
+(** Writes the [end] line and closes the channel; idempotent. *)
+
 exception Parse_error of { line : int; message : string }
 
 val of_string : string -> Schedule.t

@@ -2,8 +2,15 @@ type t = {
   net : Netstate.t;
   costs : Costs.t;
   epsilon : int;
-  placed : Schedule.replica list array;  (* per task, reverse placement order *)
+  (* Replica storage is per-task fixed-capacity rows (epsilon + 1 slots,
+     allocated on first placement) plus a count array, so the per-candidate
+     queries of the placement inner loop — placed_count, is_placed_on, the
+     next replica index — are O(1) instead of O(|placed|) list walks. *)
+  counts : int array;
+  slots : Schedule.replica array array;
 }
+
+let no_row : Schedule.replica array = [||]
 
 let create ?model ?fabric ?insertion ~epsilon costs =
   if epsilon < 0 then invalid_arg "Workspace.create: negative epsilon";
@@ -11,11 +18,13 @@ let create ?model ?fabric ?insertion ~epsilon costs =
   if epsilon >= Platform.proc_count platform then
     invalid_arg
       "Workspace.create: need at least epsilon+1 processors for replication";
+  let n = Dag.task_count (Costs.dag costs) in
   {
     net = Netstate.create ?model ?fabric ?insertion platform;
     costs;
     epsilon;
-    placed = Array.make (Dag.task_count (Costs.dag costs)) [];
+    counts = Array.make n 0;
+    slots = Array.make n no_row;
   }
 
 let net t = t.net
@@ -23,14 +32,25 @@ let costs t = t.costs
 let dag t = Costs.dag t.costs
 let platform t = Costs.platform t.costs
 let epsilon t = t.epsilon
-let placed t task = List.rev t.placed.(task)
-let placed_count t task = List.length t.placed.(task)
+
+let placed t task =
+  let row = t.slots.(task) in
+  List.init t.counts.(task) (fun i -> row.(i))
+
+let placed_count t task = t.counts.(task)
+let get_placed t task i = t.slots.(task).(i)
 
 let procs_of t task =
-  List.rev_map (fun r -> r.Schedule.r_proc) t.placed.(task)
+  let row = t.slots.(task) in
+  List.init t.counts.(task) (fun i -> row.(i).Schedule.r_proc)
 
 let is_placed_on t task proc =
-  List.exists (fun r -> r.Schedule.r_proc = proc) t.placed.(task)
+  let row = t.slots.(task) in
+  let rec go i =
+    i < t.counts.(task)
+    && (row.(i).Schedule.r_proc = proc || go (i + 1))
+  in
+  go 0
 
 let source_of_replica _t (r : Schedule.replica) ~volume =
   {
@@ -77,7 +97,7 @@ let supplies_of_booked (b : Netstate.booked) =
       b.Netstate.b_local
 
 let place_unbooked t ~task ~proc ~start ~finish ~inputs =
-  let index = List.length t.placed.(task) in
+  let index = t.counts.(task) in
   if index > t.epsilon then
     invalid_arg "Workspace.place: task already fully replicated";
   let r =
@@ -90,21 +110,36 @@ let place_unbooked t ~task ~proc ~start ~finish ~inputs =
       r_inputs = inputs;
     }
   in
-  t.placed.(task) <- r :: t.placed.(task);
+  if t.slots.(task) == no_row then t.slots.(task) <- Array.make (t.epsilon + 1) r
+  else t.slots.(task).(index) <- r;
+  t.counts.(task) <- index + 1;
   r
 
 let place t ~task ~proc (b : Netstate.booked) =
   place_unbooked t ~task ~proc ~start:b.Netstate.b_start
     ~finish:b.Netstate.b_finish ~inputs:(supplies_of_booked b)
 
+let strip_inputs t ~task ~index =
+  let r = t.slots.(task).(index) in
+  if r.Schedule.r_inputs <> [] then
+    t.slots.(task).(index) <- { r with Schedule.r_inputs = [] }
+
 let completion_lower t task =
-  match t.placed.(task) with
-  | [] -> invalid_arg "Workspace.completion_lower: no replica placed"
-  | rs -> List.fold_left (fun acc r -> Float.min acc r.Schedule.r_finish) infinity rs
+  if t.counts.(task) = 0 then
+    invalid_arg "Workspace.completion_lower: no replica placed"
+  else begin
+    let row = t.slots.(task) in
+    let acc = ref infinity in
+    for i = 0 to t.counts.(task) - 1 do
+      acc := Float.min !acc row.(i).Schedule.r_finish
+    done;
+    !acc
+  end
 
 let to_schedule ~algorithm t =
   let replicas =
-    Array.to_list t.placed |> List.concat_map (fun rs -> List.rev rs)
+    List.concat_map (fun task -> placed t task)
+      (List.init (Array.length t.counts) Fun.id)
   in
   Schedule.create
     ~insertion:(Netstate.insertion t.net)

@@ -34,6 +34,12 @@ val placed : t -> Dag.task -> Schedule.replica list
 (** Replicas of a task placed so far, in placement order. *)
 
 val placed_count : t -> Dag.task -> int
+(** Number of replicas placed so far; O(1). *)
+
+val get_placed : t -> Dag.task -> int -> Schedule.replica
+(** [get_placed t task i] is the [i]-th placed replica of [task]
+    ([0 <= i < placed_count t task]); O(1), no list materialized —
+    the form the placement inner loop iterates with. *)
 
 val procs_of : t -> Dag.task -> Platform.proc list
 (** Processors hosting a replica of the task. *)
@@ -69,6 +75,13 @@ val place_unbooked :
   inputs:Schedule.supply list ->
   Schedule.replica
 (** Low-level variant for schedulers that book by hand. *)
+
+val strip_inputs : t -> task:Dag.task -> index:int -> unit
+(** Drop the stored communication record ([r_inputs]) of an already-placed
+    replica.  Used by the streaming scheduler after the record has been
+    emitted to disk: later placements only read a replica's task, index,
+    processor and finish time, so the schedule stays byte-identical while
+    the O(edges) supply lists stop accumulating in memory. *)
 
 val completion_lower : t -> Dag.task -> float
 (** Earliest finish among the placed replicas of the task (the optimistic

@@ -31,8 +31,9 @@ let g_throughput =
 let batch_block = 256
 
 let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?pool ?(batch = true)
-    ?fabric ~crashes ~mode sched =
+    ?(batch_block = batch_block) ?fabric ~crashes ~mode sched =
   if runs < 1 then invalid_arg "Monte_carlo.run: runs < 1";
+  if batch_block < 1 then invalid_arg "Monte_carlo.run: batch_block < 1";
   let rng = Rng.create seed in
   let m = Platform.proc_count (Schedule.platform sched) in
   let l0 = Schedule.latency_zero_crash sched in
@@ -184,15 +185,17 @@ let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?pool ?(batch = true)
     degradation;
   }
 
-let degradation_curve ?seed ?runs ?domains ?pool ?batch ?fabric ?max_crashes
-    ~mode sched =
+let degradation_curve ?seed ?runs ?domains ?pool ?batch ?batch_block ?fabric
+    ?max_crashes ~mode sched =
   let m = Platform.proc_count (Schedule.platform sched) in
   let eps = Schedule.epsilon sched in
   let hi =
     match max_crashes with Some k -> min k m | None -> min m (eps + 3)
   in
   List.init (hi + 1) (fun crashes ->
-      (crashes, run ?seed ?runs ?domains ?pool ?batch ?fabric ~crashes ~mode sched))
+      ( crashes,
+        run ?seed ?runs ?domains ?pool ?batch ?batch_block ?fabric ~crashes
+          ~mode sched ))
 
 let slowdown_cell x =
   if Float.is_nan x then "-" else Printf.sprintf "%.2fx" x

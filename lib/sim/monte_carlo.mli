@@ -41,8 +41,9 @@ type report = {
 }
 
 val batch_block : int
-(** Scenarios per {!Replay.eval_batch} block on the batched path (256).
-    Purely a work-stealing granularity: the report never depends on it. *)
+(** Default scenarios per {!Replay.eval_batch} block on the batched path
+    (256).  Purely a work-stealing granularity: the report never depends
+    on it. *)
 
 val run :
   ?seed:int ->
@@ -50,6 +51,7 @@ val run :
   ?domains:int ->
   ?pool:Parallel.pool ->
   ?batch:bool ->
+  ?batch_block:int ->
   ?fabric:Netstate.fabric ->
   crashes:int ->
   mode:mode ->
@@ -71,8 +73,11 @@ val run :
     because campaign code may already be running one {!Parallel.map}
     over experiment points.
 
-    [batch] (default [true]) evaluates scenarios in {!batch_block}-sized
-    blocks through {!Replay.eval_batch} — the throughput path.
+    [batch] (default [true]) evaluates scenarios in [batch_block]-sized
+    blocks (default {!batch_block}) through {!Replay.eval_batch} — the
+    throughput path.  [batch_block] tunes the work-stealing granularity
+    for multi-core hosts and never changes the report (result-invariant,
+    pinned by the test suite); raises [Invalid_argument] when [< 1].
     [~batch:false] keeps the historical one-{!Replay.eval_latency}-per-
     scenario loop, retained as the differential baseline.  Sets the
     [replay.scenarios_per_sec] gauge either way. *)
@@ -83,6 +88,7 @@ val degradation_curve :
   ?domains:int ->
   ?pool:Parallel.pool ->
   ?batch:bool ->
+  ?batch_block:int ->
   ?fabric:Netstate.fabric ->
   ?max_crashes:int ->
   mode:mode ->

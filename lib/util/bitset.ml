@@ -1,73 +1,64 @@
-type t = { n : int; words : Bytes.t } (* 8 bits per byte, little-endian *)
+(* 32 bits per array cell: [lsr 5]/[land 31] index math stays shift-based
+   (an OCaml [int] cannot hold a full 64-bit mask), and every set
+   operation is a short word loop instead of the byte-wise folds the
+   first version used — the placement inner loop of the CAFT engine calls
+   [disjoint]/[cardinal_union] once per candidate processor, so constant
+   factors here are schedule-throughput critical. *)
+type t = { n : int; words : int array }
 
-(* Bytes rather than int arrays keeps copy/blit trivial and fast for the
-   small universes we use (m <= 64 processors). *)
-
-let nbytes n = (n + 7) / 8
+let bits = 32
+let nwords n = (n + bits - 1) / bits
 
 let create n =
   if n < 0 then invalid_arg "Bitset.create: negative universe";
-  { n; words = Bytes.make (nbytes n) '\000' }
+  { n; words = Array.make (nwords n) 0 }
 
 let universe_size t = t.n
-let copy t = { n = t.n; words = Bytes.copy t.words }
+let copy t = { n = t.n; words = Array.copy t.words }
 
 let check t i fn =
   if i < 0 || i >= t.n then invalid_arg ("Bitset." ^ fn ^ ": out of universe")
 
 let add t i =
   check t i "add";
-  let b = i / 8 and bit = i mod 8 in
-  Bytes.set t.words b
-    (Char.chr (Char.code (Bytes.get t.words b) lor (1 lsl bit)))
+  let w = i lsr 5 in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i land 31))
 
 let remove t i =
   check t i "remove";
-  let b = i / 8 and bit = i mod 8 in
-  Bytes.set t.words b
-    (Char.chr (Char.code (Bytes.get t.words b) land lnot (1 lsl bit) land 0xff))
+  let w = i lsr 5 in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i land 31))
 
 let mem t i =
   check t i "mem";
-  let b = i / 8 and bit = i mod 8 in
-  Char.code (Bytes.get t.words b) land (1 lsl bit) <> 0
+  t.words.(i lsr 5) land (1 lsl (i land 31)) <> 0
 
-let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
 
 (* Unbounds-checked variants for the replay inner loop, where indices come
    from compile-time CSR arrays that are in range by construction. *)
 
 let unsafe_mem t i =
-  Char.code (Bytes.unsafe_get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  Array.unsafe_get t.words (i lsr 5) land (1 lsl (i land 31)) <> 0
 
 let unsafe_add t i =
-  let b = i lsr 3 in
-  Bytes.unsafe_set t.words b
-    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.words b) lor (1 lsl (i land 7))))
+  let w = i lsr 5 in
+  Array.unsafe_set t.words w
+    (Array.unsafe_get t.words w lor (1 lsl (i land 31)))
 
 let singleton n i =
   let t = create n in
   add t i;
   t
 
-let fold_bytes2 f acc a b =
-  let len = Bytes.length a.words in
-  let acc = ref acc in
-  for i = 0 to len - 1 do
-    acc := f !acc (Char.code (Bytes.get a.words i)) (Char.code (Bytes.get b.words i))
-  done;
-  !acc
-
 let same_universe a b fn =
   if a.n <> b.n then invalid_arg ("Bitset." ^ fn ^ ": universe mismatch")
 
 let union_into ~into s =
   same_universe into s "union_into";
-  for i = 0 to Bytes.length into.words - 1 do
-    Bytes.set into.words i
-      (Char.chr
-         (Char.code (Bytes.get into.words i)
-         lor Char.code (Bytes.get s.words i)))
+  let iw = into.words and sw = s.words in
+  for i = 0 to Array.length iw - 1 do
+    Array.unsafe_set iw i (Array.unsafe_get iw i lor Array.unsafe_get sw i)
   done
 
 let union a b =
@@ -79,37 +70,78 @@ let union a b =
 let inter a b =
   same_universe a b "inter";
   let r = create a.n in
-  for i = 0 to Bytes.length r.words - 1 do
-    Bytes.set r.words i
-      (Char.chr (Char.code (Bytes.get a.words i) land Char.code (Bytes.get b.words i)))
+  for i = 0 to Array.length r.words - 1 do
+    r.words.(i) <- a.words.(i) land b.words.(i)
   done;
   r
 
 let disjoint a b =
   same_universe a b "disjoint";
-  fold_bytes2 (fun acc x y -> acc && x land y = 0) true a b
+  let aw = a.words and bw = b.words in
+  let rec go i =
+    i >= Array.length aw
+    || (Array.unsafe_get aw i land Array.unsafe_get bw i = 0 && go (i + 1))
+  in
+  go 0
 
 let subset a b =
   same_universe a b "subset";
-  fold_bytes2 (fun acc x y -> acc && x land lnot y land 0xff = 0) true a b
+  let aw = a.words and bw = b.words in
+  let rec go i =
+    i >= Array.length aw
+    || (Array.unsafe_get aw i land lnot (Array.unsafe_get bw i) = 0
+       && go (i + 1))
+  in
+  go 0
 
 let equal a b =
   same_universe a b "equal";
-  Bytes.equal a.words b.words
+  let aw = a.words and bw = b.words in
+  let rec go i =
+    i >= Array.length aw
+    || (Array.unsafe_get aw i = Array.unsafe_get bw i && go (i + 1))
+  in
+  go 0
 
-let is_empty t =
-  let ok = ref true in
-  Bytes.iter (fun c -> if c <> '\000' then ok := false) t.words;
-  !ok
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
 
-let popcount_byte c =
-  let rec go n c = if c = 0 then n else go (n + (c land 1)) (c lsr 1) in
-  go 0 c
+(* 16-bit popcount table: two lookups per 32-bit word *)
+let pop16 =
+  let tbl = Bytes.make 65536 '\000' in
+  for i = 1 to 65535 do
+    Bytes.unsafe_set tbl i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get tbl (i lsr 1)) + (i land 1)))
+  done;
+  tbl
+
+let popcount_word w =
+  Char.code (Bytes.unsafe_get pop16 (w land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 16) land 0xffff))
 
 let cardinal t =
   let acc = ref 0 in
-  Bytes.iter (fun c -> acc := !acc + popcount_byte (Char.code c)) t.words;
+  Array.iter (fun w -> acc := !acc + popcount_word w) t.words;
   !acc
+
+let cardinal_union a b =
+  same_universe a b "cardinal_union";
+  let aw = a.words and bw = b.words in
+  let acc = ref 0 in
+  for i = 0 to Array.length aw - 1 do
+    acc :=
+      !acc + popcount_word (Array.unsafe_get aw i lor Array.unsafe_get bw i)
+  done;
+  !acc
+
+let equal_singleton t i =
+  check t i "equal_singleton";
+  let w = i lsr 5 and bit = 1 lsl (i land 31) in
+  let rec go k =
+    k >= Array.length t.words
+    || (t.words.(k) = (if k = w then bit else 0) && go (k + 1))
+  in
+  go 0
 
 let iter f t =
   for i = 0 to t.n - 1 do

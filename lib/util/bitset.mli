@@ -22,6 +22,14 @@ val mem : t -> int -> bool
 val is_empty : t -> bool
 val cardinal : t -> int
 
+val cardinal_union : t -> t -> int
+(** [cardinal_union a b] is [cardinal (union a b)] without materializing
+    the union — the admissibility test of the placement inner loop. *)
+
+val equal_singleton : t -> int -> bool
+(** [equal_singleton t i] iff [t] is exactly [{i}]; the allocation-free
+    form of [equal t (singleton n i)]. *)
+
 val clear : t -> unit
 (** Remove every element, in place.  One [Bytes.fill]; lets a scratch set
     be reused across scenarios without reallocating. *)

@@ -2,6 +2,10 @@ type 'a t = { cmp : 'a -> 'a -> int; mutable data : 'a array; mutable size : int
 
 let create ~cmp = { cmp; data = [||]; size = 0 }
 
+let with_capacity ~cmp ~dummy n =
+  if n < 0 then invalid_arg "Heap.with_capacity: negative capacity";
+  { cmp; data = Array.make (max n 1) dummy; size = 0 }
+
 let length t = t.size
 let is_empty t = t.size = 0
 let clear t = t.size <- 0

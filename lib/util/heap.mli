@@ -11,6 +11,12 @@ val create : cmp:('a -> 'a -> int) -> 'a t
 (** [create ~cmp] is an empty heap whose minimum is taken w.r.t. [cmp].
     For a max-heap, negate the comparison. *)
 
+val with_capacity : cmp:('a -> 'a -> int) -> dummy:'a -> int -> 'a t
+(** [with_capacity ~cmp ~dummy n] is an empty heap with backing storage
+    for [n] elements already allocated (filled with [dummy]), so the
+    first [n] [add]s never resize.  Raises [Invalid_argument] on
+    negative [n]. *)
+
 val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
 (** Heapify in O(n). *)
 

@@ -75,6 +75,56 @@ let stencil_1d ?(volume = 100.) ~width ~steps () =
   done;
   build (width * steps) !edges
 
+let staged_fanout ?(volume = 100.) ~stages ~width () =
+  if stages < 1 || width < 1 then invalid_arg "Families.staged_fanout";
+  (* Montage/Epigenomics shape: a source, then [stages] rounds of
+     [width]-way fan-out each gathered by one synchronization task.  Task
+     ids are assigned stage by stage so the hub of stage [s] is the
+     gather of stage [s - 1].  Edge count is 2 * stages * width. *)
+  let b = Dag.Builder.create () in
+  let source = Dag.Builder.add_task ~name:"src" b in
+  let hub = ref source in
+  for s = 0 to stages - 1 do
+    let workers =
+      Array.init width (fun i ->
+          Dag.Builder.add_task ~name:(Printf.sprintf "s%d_w%d" s i) b)
+    in
+    let gather = Dag.Builder.add_task ~name:(Printf.sprintf "s%d_gather" s) b in
+    Array.iter
+      (fun w ->
+        Dag.Builder.add_edge b ~src:!hub ~dst:w ~volume;
+        Dag.Builder.add_edge b ~src:w ~dst:gather ~volume)
+      workers;
+    hub := gather
+  done;
+  Dag.Builder.build b
+
+let parallel_chains ?(volume = 100.) ~lanes ~depth () =
+  if lanes < 1 || depth < 1 then invalid_arg "Families.parallel_chains";
+  (* [lanes] independent linear pipelines of [depth] tasks between one
+     fork and one join — the streaming/pipeline workloads of the
+     Benoit–Rehn-Sonigo–Robert line of work, and the widest frontier a
+     scheduler can face at a given task count. *)
+  let b = Dag.Builder.create () in
+  let fork = Dag.Builder.add_task ~name:"fork" b in
+  let tails =
+    Array.init lanes (fun l ->
+        let head = Dag.Builder.add_task ~name:(Printf.sprintf "l%d_0" l) b in
+        Dag.Builder.add_edge b ~src:fork ~dst:head ~volume;
+        let tail = ref head in
+        for d = 1 to depth - 1 do
+          let next =
+            Dag.Builder.add_task ~name:(Printf.sprintf "l%d_%d" l d) b
+          in
+          Dag.Builder.add_edge b ~src:!tail ~dst:next ~volume;
+          tail := next
+        done;
+        !tail)
+  in
+  let join = Dag.Builder.add_task ~name:"join" b in
+  Array.iter (fun t -> Dag.Builder.add_edge b ~src:t ~dst:join ~volume) tails;
+  Dag.Builder.build b
+
 let gaussian_elimination ?(volume = 100.) n =
   if n < 2 then invalid_arg "Families.gaussian_elimination";
   (* steps k = 0 .. n-2; pivot(k) and updates (k, j) for k < j <= n-1 *)

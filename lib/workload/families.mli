@@ -36,6 +36,20 @@ val stencil_1d : ?volume:float -> width:int -> steps:int -> unit -> Dag.t
     [(s, i)] depends on [(s-1, i-1)], [(s-1, i)] and [(s-1, i+1)] where
     they exist.  A classic iterative-stencil workload. *)
 
+val staged_fanout : ?volume:float -> stages:int -> width:int -> unit -> Dag.t
+(** Montage/Epigenomics-style scientific workflow: a source task, then
+    [stages] successive rounds of [width] parallel tasks, each round
+    gathered by a synchronization task that seeds the next round —
+    [1 + stages * (width + 1)] tasks, [2 * stages * width] edges.  The
+    repeated wide fan-out/fan-in is the frontier-width stress shape for
+    large-n scheduling.  [stages >= 1], [width >= 1]. *)
+
+val parallel_chains : ?volume:float -> lanes:int -> depth:int -> unit -> Dag.t
+(** Pipeline bundle: one fork feeding [lanes] independent linear chains
+    of [depth] tasks, joined by one sink — [lanes * depth + 2] tasks.
+    The streaming-workflow shape of the Benoit–Rehn-Sonigo-Robert
+    pipeline papers.  [lanes >= 1], [depth >= 1]. *)
+
 val gaussian_elimination : ?volume:float -> int -> Dag.t
 (** Task graph of Gaussian elimination on an [n x n] matrix: pivot tasks
     [piv_k] and update tasks [upd_(k,j)] for [k < j <= n-1], with the
