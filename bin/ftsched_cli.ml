@@ -71,43 +71,22 @@ let import_t =
   in
   Arg.(value & opt (some string) None & info [ "import" ] ~docv:"FILE" ~doc)
 
+(* Bad option values the cmdliner combinators cannot type-check
+   themselves (family names, topology shapes) are reported like bad
+   input files: one structured line on stderr and exit 2, never a raw
+   exception backtrace. *)
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "ftsched: error: %s\n" msg;
+      exit 2)
+    fmt
+
+(* family dispatch lives in [Instance] now, shared with the serve daemon *)
 let make_dag rng ~family ~tasks =
-  match family with
-  | "random" ->
-      Random_dag.generate rng
-        { Random_dag.default with Random_dag.tasks_min = tasks; tasks_max = tasks }
-  | "fork" -> Families.fork (max 1 (tasks - 1))
-  | "join" -> Families.join (max 1 (tasks - 1))
-  | "chain" -> Families.chain (max 1 tasks)
-  | "fork-join" -> Families.fork_join (max 1 (tasks - 2))
-  | "out-tree" ->
-      (* choose the depth so a binary tree roughly reaches [tasks] nodes *)
-      let depth = max 1 (int_of_float (Float.log2 (float_of_int (max 2 tasks)))) in
-      Families.out_tree ~arity:2 ~depth ()
-  | "staged" ->
-      (* Montage-style staged fan-out/fan-in: 8 stages sized to [tasks] *)
-      let stages = 8 in
-      let width = max 1 (((max 2 tasks - 1) / stages) - 1) in
-      Families.staged_fanout ~stages ~width ()
-  | "pipelines" ->
-      (* lane bundle: depth-16 chains, lane count sized to [tasks] *)
-      let depth = 16 in
-      let lanes = max 1 ((max 3 tasks - 2) / depth) in
-      Families.parallel_chains ~lanes ~depth ()
-  | "stencil" ->
-      let width = max 2 (int_of_float (sqrt (float_of_int (max 4 tasks)))) in
-      Families.stencil_1d ~width ~steps:(max 2 (tasks / width)) ()
-  | "gauss" ->
-      let n = max 3 (int_of_float (sqrt (2. *. float_of_int (max 4 tasks)))) in
-      Families.gaussian_elimination n
-  | "butterfly" ->
-      let k = max 1 (int_of_float (Float.log2 (float_of_int (max 2 tasks)) /. 2.)) in
-      Families.butterfly k
-  | "cholesky" ->
-      (* T tiles yield about T^3/6 tasks *)
-      let t = max 2 (int_of_float (Float.cbrt (6. *. float_of_int (max 4 tasks)))) in
-      Families.cholesky t
-  | other -> failwith (Printf.sprintf "unknown graph family %S" other)
+  match Instance.make_dag rng ~family ~tasks with
+  | Ok dag -> dag
+  | Error msg -> usage_error "%s" msg
 
 (* -- input hardening ----------------------------------------------------
    Malformed user-supplied files must not surface as raw OCaml exception
@@ -851,8 +830,15 @@ let topology_cmd =
     Arg.(value & flag & info [ "routes" ] ~doc:"Print the full routing table.")
   in
   let parse_shape m shape =
+    let unknown () =
+      usage_error
+        "unknown topology shape %S (accepted: ring, star, clique, mesh-RxC, \
+         torus-RxC, hypercube-D)"
+        shape
+    in
     let grid prefix f =
-      Scanf.sscanf shape (prefix ^^ "-%dx%d") (fun r c -> f ~rows:r ~cols:c ())
+      try Scanf.sscanf shape (prefix ^^ "-%dx%d") (fun r c -> f ~rows:r ~cols:c ())
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> unknown ()
     in
     match shape with
     | "ring" -> Topology.ring m
@@ -862,12 +848,19 @@ let topology_cmd =
         grid "mesh" (fun ~rows ~cols () -> Topology.mesh2d ~rows ~cols ())
     | _ when String.length shape > 6 && String.sub shape 0 6 = "torus-" ->
         grid "torus" (fun ~rows ~cols () -> Topology.torus2d ~rows ~cols ())
-    | _ when String.length shape > 10 && String.sub shape 0 10 = "hypercube-" ->
-        Topology.hypercube (int_of_string (String.sub shape 10 (String.length shape - 10)))
-    | other -> failwith (Printf.sprintf "unknown topology shape %S" other)
+    | _ when String.length shape > 10 && String.sub shape 0 10 = "hypercube-" -> (
+        match
+          int_of_string_opt (String.sub shape 10 (String.length shape - 10))
+        with
+        | Some d when d >= 0 -> Topology.hypercube d
+        | Some _ | None -> unknown ())
+    | _ -> unknown ()
   in
   let run m shape routes =
-    let topo = parse_shape m shape in
+    let topo =
+      try parse_shape m shape
+      with Invalid_argument msg | Failure msg -> usage_error "%s" msg
+    in
     let mm = Topology.proc_count topo in
     Format.printf "%s: %d processors, %d directed links, diameter %d hops@."
       shape mm (Topology.link_count topo) (Topology.diameter_hops topo);
@@ -942,7 +935,10 @@ let campaign_cmd =
       | Some g -> Config.with_graphs_per_point config g
       | None -> config
     in
-    let result = Campaign.run ~seed ?domains ?checkpoint config in
+    let result =
+      try Campaign.run ~seed ?domains ?checkpoint config
+      with Campaign.Checkpoint_error msg -> usage_error "%s" msg
+    in
     print_string (Report.render result);
     Option.iter
       (fun path ->
@@ -1045,6 +1041,231 @@ let benchdiff_cmd =
           regressions beyond a threshold")
     term
 
+(* -- serve --------------------------------------------------------------- *)
+
+let serve_cmd =
+  let socket_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix domain socket instead of stdin/stdout.")
+  in
+  let cache_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:
+            "Journal finished results to FILE so a restarted daemon serves \
+             them from cache.")
+  in
+  let resume_t =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Warm-restart: replay an existing cache journal (tolerates the \
+             torn tail a kill -9 leaves).")
+  in
+  let queue_t =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue capacity; requests beyond it are shed with an \
+             'overloaded' error.")
+  in
+  let max_frame_t =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Request frame size limit (default 1 MiB).")
+  in
+  let deadline_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-deadline" ] ~docv:"MS"
+          ~doc:"Budget for requests that do not carry their own deadline_ms.")
+  in
+  let max_requests_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:
+            "Drain and exit after admitting N frames (deterministic shutdown \
+             for tests).")
+  in
+  let self_test_t =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:
+            "Run the in-process fault-injection harness instead of serving; \
+             exit 1 on any contract violation.")
+  in
+  let frames_t =
+    Arg.(
+      value & opt int 200
+      & info [ "frames" ] ~docv:"N"
+          ~doc:"Frames the self-test injects (with --self-test).")
+  in
+  let run seed socket cache resume queue max_frame deadline max_requests
+      self_test frames obs =
+    with_obs obs @@ fun () ->
+    if self_test then begin
+      let r = Serve_faults.run ~frames ~seed () in
+      Format.printf "%a@." Serve_faults.pp r;
+      if r.Serve_faults.fr_violations = [] then 0 else 1
+    end
+    else begin
+      let cache =
+        match cache with
+        | None ->
+            if resume then
+              usage_error "--resume needs --cache FILE to restart from";
+            Serve_cache.in_memory ()
+        | Some path -> (
+            match Serve_cache.journaled ~resume path with
+            | Error msg -> usage_error "%s" msg
+            | Ok (c, rc) ->
+                if resume then
+                  Obs.Log.info "serve: warm restart, %d results from %s%s"
+                    rc.Serve_cache.rc_entries path
+                    (if rc.Serve_cache.rc_skipped > 0 then
+                       Printf.sprintf " (%d torn journal lines dropped)"
+                         rc.Serve_cache.rc_skipped
+                     else "");
+                c)
+      in
+      let cfg =
+        {
+          Serve_server.queue_capacity = queue;
+          max_frame;
+          default_deadline_ms = deadline;
+          max_requests;
+        }
+      in
+      (match socket with
+      | None -> Serve_server.run_stdio (Serve_server.create cfg ~cache)
+      | Some path -> Serve_server.run_socket (Serve_server.create cfg ~cache) ~path);
+      0
+    end
+  in
+  let term =
+    Term.(
+      const run $ seed_t $ socket_t $ cache_t $ resume_t $ queue_t
+      $ max_frame_t $ deadline_t $ max_requests_t $ self_test_t $ frames_t
+      $ obs_t)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Crash-tolerant scheduling daemon: JSON-lines requests over \
+          stdin/stdout or a Unix socket, with admission control, deadlines \
+          and a warm-restart result cache")
+    term
+
+let client_cmd =
+  let socket_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket to connect to.")
+  in
+  let op_t =
+    Arg.(
+      value & opt string "ping"
+      & info [ "op" ] ~docv:"OP" ~doc:"Operation to request.")
+  in
+  let params_t =
+    Arg.(
+      value & opt string "{}"
+      & info [ "params" ] ~docv:"JSON" ~doc:"Request parameters, one JSON object.")
+  in
+  let deadline_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS" ~doc:"Request budget in milliseconds.")
+  in
+  let retries_t =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Attempts on 'overloaded'/'shutting_down' replies and connection \
+             errors (exponential backoff with seeded jitter).")
+  in
+  let count_t =
+    Arg.(
+      value & opt int 1
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Send the request N times (fresh connection each).")
+  in
+  let run seed socket op params deadline retries count =
+    let params =
+      match Json.parse params with
+      | Ok (Json.Obj _ as p) -> p
+      | Ok _ -> usage_error "--params must be a JSON object"
+      | Error e -> usage_error "--params: %s" e
+    in
+    let rng = Rng.create seed in
+    let policy =
+      { Serve_client.default_policy with Serve_client.max_attempts = retries }
+    in
+    let code = ref 0 in
+    for i = 1 to count do
+      let rq =
+        {
+          Serve_protocol.rq_id = Json.Int i;
+          rq_op = op;
+          rq_params = params;
+          rq_deadline_ms = deadline;
+        }
+      in
+      match Serve_client.request_with_retry ~policy ~rng ~path:socket rq with
+      | Error msg ->
+          Printf.eprintf "ftsched client: %s\n" msg;
+          code := 1
+      | Ok rs -> (
+          match rs.Serve_protocol.rs_error with
+          | Some (cls, msg) ->
+              Printf.eprintf "ftsched client: error %s: %s\n"
+                (Serve_protocol.class_name cls)
+                msg;
+              code := 1
+          | None ->
+              (* meta on stderr, result bytes alone on stdout: scripts can
+                 diff cached vs fresh runs directly *)
+              Printf.eprintf "ftsched client: ok op=%s cached=%b elapsed_ms=%s\n"
+                (Option.value rs.Serve_protocol.rs_op ~default:"?")
+                rs.Serve_protocol.rs_cached
+                (match rs.Serve_protocol.rs_elapsed_ms with
+                | Some e -> Printf.sprintf "%.3f" e
+                | None -> "?");
+              print_string
+                (Json.to_string
+                   (Option.value rs.Serve_protocol.rs_result ~default:Json.Null));
+              print_newline ())
+    done;
+    if !code <> 0 then exit !code
+  in
+  let term =
+    Term.(
+      const run $ seed_t $ socket_t $ op_t $ params_t $ deadline_t $ retries_t
+      $ count_t)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Test driver for the serve daemon: send one request over its Unix \
+          socket, retrying with backoff when the daemon sheds load")
+    term
+
 let () =
   let info =
     Cmd.info "ftsched" ~version:"1.0.0"
@@ -1054,5 +1275,5 @@ let () =
        [
          schedule_cmd; crash_cmd; check_cmd; analyze_cmd; inspect_cmd;
          montecarlo_cmd; stress_cmd; topology_cmd; campaign_cmd;
-         benchdiff_cmd;
+         benchdiff_cmd; serve_cmd; client_cmd;
        ]))

@@ -230,6 +230,8 @@ let save_checkpoint path ~id ~seed pts =
       output_char oc '\n');
   Sys.rename tmp path
 
+exception Checkpoint_error of string
+
 let load_checkpoint path ~id ~seed =
   if not (Sys.file_exists path) then []
   else
@@ -239,8 +241,22 @@ let load_checkpoint path ~id ~seed =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     in
+    (* an empty file holds no completed points to protect — treat it as
+       absent (Filename.temp_file and `touch` both produce one) *)
+    if String.trim contents = "" then []
+    else
     match Json.parse contents with
-    | Error _ -> [] (* unreadable / truncated: start over *)
+    | Error e ->
+        (* Saves are atomic (temp + rename), so a malformed file is not
+           the expected crash damage — it is outside interference.
+           Silently starting over would discard hours of completed
+           points; make the caller decide. *)
+        raise
+          (Checkpoint_error
+             (Printf.sprintf
+                "%s: corrupt campaign checkpoint (%s); remove the file to \
+                 start the sweep over"
+                path e))
     | Ok doc ->
         let same_id =
           Option.bind (Json.member "campaign" doc) Json.to_str = Some id

@@ -47,6 +47,15 @@ type point = {
 
 type result = { config : Config.t; points : point list }
 
+exception Checkpoint_error of string
+(** Raised by {!run} when [checkpoint] names an existing non-empty file
+    that is not valid JSON.  Saves are atomic (temp + rename), so this
+    is never the footprint of a crash mid-write — it means the file was
+    damaged by something else, and silently restarting the sweep would
+    discard the completed points it was supposed to protect.  The
+    message names the file and says how to start over.  An empty file
+    holds no points to protect and counts as absent. *)
+
 val run :
   ?seed:int ->
   ?progress:(string -> unit) ->
@@ -66,7 +75,8 @@ val run :
     with the same figure id and [seed] skips the recorded points and
     produces a result byte-identical to an uninterrupted run (floats are
     stored as exact ["%.17g"] strings).  A checkpoint from a different
-    figure, seed, or an unreadable file is ignored. *)
+    figure or seed is ignored (the sweep starts over); a file that is
+    not valid JSON raises {!Checkpoint_error} instead — see above. *)
 
 val normalization : Costs.t -> float
 (** The per-instance normalization constant (mean edge communication

@@ -1,0 +1,211 @@
+let version = 1
+
+type error_class =
+  | Bad_request
+  | Oversized
+  | Overloaded
+  | Deadline_exceeded
+  | Shutting_down
+  | Internal
+
+let class_name = function
+  | Bad_request -> "bad_request"
+  | Oversized -> "oversized"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let class_of_name = function
+  | "bad_request" -> Some Bad_request
+  | "oversized" -> Some Oversized
+  | "overloaded" -> Some Overloaded
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+let retryable = function
+  | Overloaded | Shutting_down -> true
+  | Bad_request | Oversized | Deadline_exceeded | Internal -> false
+
+type request = {
+  rq_id : Json.t;
+  rq_op : string;
+  rq_params : Json.t;
+  rq_deadline_ms : float option;
+}
+
+let scalar = function
+  | Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.String _ ->
+      true
+  | Json.List _ | Json.Obj _ -> false
+
+let parse_request ~max_frame line =
+  if String.length line > max_frame then
+    Error
+      ( Oversized,
+        Printf.sprintf "frame is %d bytes, limit %d" (String.length line)
+          max_frame )
+  else
+    match Json.parse line with
+    | Error e -> Error (Bad_request, "malformed JSON: " ^ e)
+    | Ok (Json.Obj _ as doc) -> (
+        (match Json.member "v" doc with
+        | None -> Ok ()
+        | Some (Json.Int v) when v = version -> Ok ()
+        | Some (Json.Int v) ->
+            Error
+              ( Bad_request,
+                Printf.sprintf "unsupported protocol version %d (this daemon speaks %d)"
+                  v version )
+        | Some _ -> Error (Bad_request, "field 'v' must be an integer"))
+        |> function
+        | Error _ as e -> e
+        | Ok () -> (
+            let rq_id = Option.value (Json.member "id" doc) ~default:Json.Null in
+            if not (scalar rq_id) then
+              Error (Bad_request, "field 'id' must be a JSON scalar")
+            else
+              match Json.member "op" doc with
+              | None -> Error (Bad_request, "missing field 'op'")
+              | Some (Json.String rq_op) -> (
+                  let rq_params =
+                    Option.value (Json.member "params" doc)
+                      ~default:(Json.Obj [])
+                  in
+                  match rq_params with
+                  | Json.Obj _ -> (
+                      match Json.member "deadline_ms" doc with
+                      | None ->
+                          Ok { rq_id; rq_op; rq_params; rq_deadline_ms = None }
+                      | Some j -> (
+                          match Json.to_float j with
+                          | Some d when Float.is_finite d && d >= 0. ->
+                              Ok
+                                {
+                                  rq_id;
+                                  rq_op;
+                                  rq_params;
+                                  rq_deadline_ms = Some d;
+                                }
+                          | _ ->
+                              Error
+                                ( Bad_request,
+                                  "field 'deadline_ms' must be a non-negative \
+                                   number" )))
+                  | _ -> Error (Bad_request, "field 'params' must be an object"))
+              | Some _ -> Error (Bad_request, "field 'op' must be a string")))
+    | Ok _ -> Error (Bad_request, "request must be a JSON object")
+
+let request_to_string rq =
+  Json.to_string
+    (Json.Obj
+       (("v", Json.Int version)
+       :: ("id", rq.rq_id)
+       :: ("op", Json.String rq.rq_op)
+       :: ("params", rq.rq_params)
+       ::
+       (match rq.rq_deadline_ms with
+       | None -> []
+       | Some d -> [ ("deadline_ms", Json.Float d) ])))
+
+(* [result] is spliced in pre-rendered: a cache hit must re-serve the
+   exact bytes of the original computation, and re-parsing would only
+   risk perturbing them. *)
+let ok_response ~id ~op ~cached ~elapsed_ms result =
+  let prefix =
+    Json.to_string
+      (Json.Obj
+         [
+           ("v", Json.Int version);
+           ("id", id);
+           ("ok", Json.Bool true);
+           ("op", Json.String op);
+           ("cached", Json.Bool cached);
+           ("elapsed_ms", Json.Float elapsed_ms);
+         ])
+  in
+  (* drop the closing brace, splice the result member *)
+  String.sub prefix 0 (String.length prefix - 1)
+  ^ ",\"result\":" ^ result ^ "}"
+
+let error_response ~id cls message =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", Json.Int version);
+         ("id", id);
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("class", Json.String (class_name cls));
+               ("message", Json.String message);
+             ] );
+       ])
+
+type response = {
+  rs_id : Json.t;
+  rs_ok : bool;
+  rs_op : string option;
+  rs_cached : bool;
+  rs_elapsed_ms : float option;
+  rs_result : Json.t option;
+  rs_error : (error_class * string) option;
+}
+
+let parse_response line =
+  match Json.parse line with
+  | Error e -> Error ("malformed JSON: " ^ e)
+  | Ok doc -> (
+      match (Json.member "v" doc, Json.member "ok" doc) with
+      | Some (Json.Int v), Some (Json.Bool ok) when v = version ->
+          let rs_id = Option.value (Json.member "id" doc) ~default:Json.Null in
+          let rs_op = Option.bind (Json.member "op" doc) Json.to_str in
+          let rs_cached =
+            Option.bind (Json.member "cached" doc) Json.to_bool
+            |> Option.value ~default:false
+          in
+          let rs_elapsed_ms =
+            Option.bind (Json.member "elapsed_ms" doc) Json.to_float
+          in
+          if ok then
+            match Json.member "result" doc with
+            | Some r ->
+                Ok
+                  {
+                    rs_id;
+                    rs_ok = true;
+                    rs_op;
+                    rs_cached;
+                    rs_elapsed_ms;
+                    rs_result = Some r;
+                    rs_error = None;
+                  }
+            | None -> Error "ok response without 'result'"
+          else
+            let err = Json.member "error" doc in
+            let cls =
+              Option.bind err (Json.member "class")
+              |> Fun.flip Option.bind Json.to_str
+              |> Fun.flip Option.bind class_of_name
+            in
+            let msg =
+              Option.bind err (Json.member "message")
+              |> Fun.flip Option.bind Json.to_str
+            in
+            (match (cls, msg) with
+            | Some c, Some m ->
+                Ok
+                  {
+                    rs_id;
+                    rs_ok = false;
+                    rs_op;
+                    rs_cached;
+                    rs_elapsed_ms;
+                    rs_result = None;
+                    rs_error = Some (c, m);
+                  }
+            | _ -> Error "error response without a recognized 'error' member")
+      | _ -> Error "not a protocol response (missing 'v'/'ok')")

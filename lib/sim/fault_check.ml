@@ -109,7 +109,7 @@ type shard = {
 }
 
 let check ?(max_exhaustive = 20000) ?(samples = 1000) ?(seed = 7)
-    ?(domains = 1) ?pool ?static ~epsilon sched =
+    ?(domains = 1) ?pool ?(cancel = Cancel.never) ?static ~epsilon sched =
   let m = Platform.proc_count (Schedule.platform sched) in
   let epsilon = min epsilon m in
   let total = count_combinations m epsilon in
@@ -146,6 +146,7 @@ let check ?(max_exhaustive = 20000) ?(samples = 1000) ?(seed = 7)
       let sh_worst = ref nan in
       let sh_ce = ref None in
       while !rank < stop && !sh_ce = None do
+        Cancel.check cancel;
         Obs_metrics.incr m_scenarios;
         fill_crash_time crash_time idx;
         let lat = Replay.eval_latency c ~crash_time in
@@ -210,6 +211,7 @@ let check ?(max_exhaustive = 20000) ?(samples = 1000) ?(seed = 7)
     let c, crash_time = Domain.DLS.get sim in
     let i = ref 0 in
     while !i < samples && !counterexample = None do
+      Cancel.check cancel;
       incr i;
       incr checked;
       Obs_metrics.incr m_scenarios;

@@ -45,6 +45,7 @@ val check :
   ?seed:int ->
   ?domains:int ->
   ?pool:Parallel.pool ->
+  ?cancel:Cancel.token ->
   ?static:Resilience.report ->
   epsilon:int ->
   Schedule.t ->
@@ -64,6 +65,11 @@ val check :
     byte-identical report, domains spawned once per campaign.  Sampling
     mode is sequential — its RNG draw order must not depend on the
     domain count.
+
+    [cancel] (default [Cancel.never]) is polled once per crash set on
+    every enumeration or sampling path; when it trips, [check] raises
+    [Cancel.Cancelled] — the serve daemon's request-deadline hook.  A
+    check that returns normally never depends on the token.
 
     [static] cross-validates against a static ε-resistance report from
     [Ftsched_analysis.Resilience.certify]: the result's [static_agrees]

@@ -31,7 +31,8 @@ let g_throughput =
 let batch_block = 256
 
 let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?pool ?(batch = true)
-    ?(batch_block = batch_block) ?fabric ~crashes ~mode sched =
+    ?(batch_block = batch_block) ?(cancel = Cancel.never) ?fabric ~crashes
+    ~mode sched =
   if runs < 1 then invalid_arg "Monte_carlo.run: runs < 1";
   if batch_block < 1 then invalid_arg "Monte_carlo.run: batch_block < 1";
   let rng = Rng.create seed in
@@ -85,7 +86,7 @@ let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?pool ?(batch = true)
        let start = b * batch_block in
        let len = min batch_block (runs - start) in
        let res =
-         Replay.eval_batch ~degradation:beyond c
+         Replay.eval_batch ~cancel ~degradation:beyond c
            (Array.sub scenarios start len)
        in
        Array.blit res.Replay.br_latency 0 lat start len;
@@ -102,6 +103,7 @@ let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?pool ?(batch = true)
         differential baseline *)
      let eval_one i =
        Obs_prof.phase ~trace:false "montecarlo.eval" @@ fun () ->
+       Cancel.check cancel;
        let c = Domain.DLS.get sim in
        let crash_time = scenarios.(i).Scenario.sc_crash_time in
        if not beyond then lat.(i) <- Replay.eval_latency c ~crash_time
@@ -185,8 +187,8 @@ let run ?(seed = 20) ?(runs = 1000) ?(domains = 1) ?pool ?(batch = true)
     degradation;
   }
 
-let degradation_curve ?seed ?runs ?domains ?pool ?batch ?batch_block ?fabric
-    ?max_crashes ~mode sched =
+let degradation_curve ?seed ?runs ?domains ?pool ?batch ?batch_block ?cancel
+    ?fabric ?max_crashes ~mode sched =
   let m = Platform.proc_count (Schedule.platform sched) in
   let eps = Schedule.epsilon sched in
   let hi =
@@ -194,8 +196,8 @@ let degradation_curve ?seed ?runs ?domains ?pool ?batch ?batch_block ?fabric
   in
   List.init (hi + 1) (fun crashes ->
       ( crashes,
-        run ?seed ?runs ?domains ?pool ?batch ?batch_block ?fabric ~crashes
-          ~mode sched ))
+        run ?seed ?runs ?domains ?pool ?batch ?batch_block ?cancel ?fabric
+          ~crashes ~mode sched ))
 
 let slowdown_cell x =
   if Float.is_nan x then "-" else Printf.sprintf "%.2fx" x

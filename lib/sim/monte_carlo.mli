@@ -52,6 +52,7 @@ val run :
   ?pool:Parallel.pool ->
   ?batch:bool ->
   ?batch_block:int ->
+  ?cancel:Cancel.token ->
   ?fabric:Netstate.fabric ->
   crashes:int ->
   mode:mode ->
@@ -80,7 +81,15 @@ val run :
     pinned by the test suite); raises [Invalid_argument] when [< 1].
     [~batch:false] keeps the historical one-{!Replay.eval_latency}-per-
     scenario loop, retained as the differential baseline.  Sets the
-    [replay.scenarios_per_sec] gauge either way. *)
+    [replay.scenarios_per_sec] gauge either way.
+
+    [cancel] (default [Cancel.never]) is polled once per scenario on
+    both paths (inside {!Replay.eval_batch} on the batched one); when it
+    trips — an expired serve-request deadline, a daemon shutdown — the
+    campaign raises [Cancel.Cancelled] instead of finishing.  Every
+    worker domain polls the same token, so a multi-domain campaign
+    unwinds promptly.  A run that returns normally is byte-identical
+    whether or not a token was polled. *)
 
 val degradation_curve :
   ?seed:int ->
@@ -89,6 +98,7 @@ val degradation_curve :
   ?pool:Parallel.pool ->
   ?batch:bool ->
   ?batch_block:int ->
+  ?cancel:Cancel.token ->
   ?fabric:Netstate.fabric ->
   ?max_crashes:int ->
   mode:mode ->

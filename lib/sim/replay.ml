@@ -1074,7 +1074,8 @@ let g_throughput =
        whichever path ran)"
     "replay.scenarios_per_sec"
 
-let eval_batch ?(degradation = false) c (scenarios : Scenario.t array) =
+let eval_batch ?(cancel = Cancel.never) ?(degradation = false) c
+    (scenarios : Scenario.t array) =
   let count = Array.length scenarios in
   Obs_metrics.incr ~by:count m_replays;
   Obs_metrics.set g_batch_size (float_of_int count);
@@ -1140,6 +1141,9 @@ let eval_batch ?(degradation = false) c (scenarios : Scenario.t array) =
 
   (* scenario loop: reset arena in place, walk c_order, collect *)
   for si = 0 to count - 1 do
+    (* cooperative cancellation poll, once per scenario: an expired
+       request deadline aborts between scenarios, never mid-arena *)
+    Cancel.check cancel;
     let sc = Array.unsafe_get scenarios si in
     let crash_time = sc.Scenario.sc_crash_time in
     if Array.length crash_time <> m then

@@ -159,14 +159,24 @@ type batch = {
       (** latency of the surviving frontier; [[||]] likewise *)
 }
 
-val eval_batch : ?degradation:bool -> compiled -> Scenario.t array -> batch
+val eval_batch :
+  ?cancel:Cancel.token ->
+  ?degradation:bool ->
+  compiled ->
+  Scenario.t array ->
+  batch
 (** [eval_batch c scenarios] replays every scenario of the block on [c]'s
     arena.  With [~degradation:true] (default [false]) it additionally
     fills the per-scenario degradation columns, and [br_latency] follows
     the Monte-Carlo rule: the frontier when every task completed, [nan]
     otherwise — exactly {!eval_degraded} folded the way
     {!Monte_carlo.run} does.  Raises [Invalid_argument] if a scenario's
-    crash-time array length differs from {!proc_count}. *)
+    crash-time array length differs from {!proc_count}.
+
+    [cancel] (default {!Cancel.never}) is polled once per scenario;
+    when it trips the batch raises [Cancel.Cancelled] between scenarios
+    — the serve daemon's request-deadline hook.  A batch that returns
+    normally is byte-identical whether or not a token was polled. *)
 
 (** {1 Fault plans}
 

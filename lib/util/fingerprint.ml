@@ -1,0 +1,30 @@
+(* 64-bit FNV-1a.  The state is just the running hash; immutability makes
+   prefix sharing (one instance key extended per-op) free. *)
+
+type t = int64
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+let empty = offset_basis
+
+let add_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let add_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := add_byte !h (Char.code c)) s;
+  (* field terminator: keeps the field boundaries in the hash *)
+  add_byte !h 0xff
+
+let add_int64 h x =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := add_byte !h (Int64.to_int (Int64.shift_right_logical x (8 * i)))
+  done;
+  !h
+
+let add_int h i = add_int64 h (Int64.of_int i)
+let add_float h f = add_int64 h (Int64.bits_of_float f)
+let add_bool h b = add_int h (if b then 1 else 0)
+let to_hex h = Printf.sprintf "%016Lx" h
+let string s = to_hex (add_string empty s)

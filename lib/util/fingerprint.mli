@@ -1,0 +1,43 @@
+(** Content fingerprints for cache keys.
+
+    The serve daemon's content-addressed cache keys compiled replay
+    engines and finished results by a fingerprint of everything that
+    determines them — generation parameters, algorithm, model, epsilon —
+    so two requests for the same work share one cache entry.  A
+    fingerprint is a 64-bit FNV-1a hash accumulated over a canonical
+    field sequence: cheap, allocation-light, stable across runs and
+    platforms (no dependence on [Hashtbl.hash]'s unspecified mixing).
+
+    This is a cache key, not a cryptographic digest: collisions are
+    astronomically unlikely for the handful of live keys a daemon holds,
+    and a collision costs a wrong cache hit on adversarially crafted
+    input only — callers that need integrity must also compare the
+    canonical string they hashed. *)
+
+type t
+(** Accumulating hash state (immutable: every [add_*] returns a new
+    state, so prefixes can be shared). *)
+
+val empty : t
+(** The FNV-1a offset basis. *)
+
+val add_string : t -> string -> t
+(** Hash the bytes of the string, then a terminator — [add_string t "ab"]
+    followed by ["c"] differs from [add_string t "a"] followed by
+    ["bc"]. *)
+
+val add_int : t -> int -> t
+(** Hash the 8 little-endian bytes of the integer. *)
+
+val add_float : t -> float -> t
+(** Hash the IEEE-754 bits ([-0.] and [0.] therefore differ; [nan]s with
+    equal bit patterns collide, which is what a cache wants). *)
+
+val add_bool : t -> bool -> t
+
+val to_hex : t -> string
+(** 16 lowercase hex digits — the canonical rendering used in journal
+    files and the [stats] response. *)
+
+val string : string -> string
+(** [string s] is [to_hex (add_string empty s)] — the one-shot helper. *)

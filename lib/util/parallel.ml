@@ -216,6 +216,20 @@ let pool_worker pool =
   in
   wait_for_job 0
 
+(* Live-pool registry: a pool leaked without [shutdown] must not leave
+   domains parked on a condition variable at process exit, so every pool
+   registers here and [shutdown_all] — armed once via [at_exit] — joins
+   whatever the program forgot.  Guarded by its own mutex: registration
+   and teardown are rare (pool lifetime, not job) events. *)
+let live_lock = Mutex.create ()
+let live : pool list ref = ref []
+let exit_hook_armed = ref false
+
+let unregister p =
+  Mutex.lock live_lock;
+  live := List.filter (fun q -> q != p) !live;
+  Mutex.unlock live_lock
+
 let pool ?domains () =
   let size =
     match domains with Some d -> max 1 d | None -> available_domains ()
@@ -236,6 +250,25 @@ let pool ?domains () =
     }
   in
   p.p_workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> pool_worker p));
+  Mutex.lock live_lock;
+  live := p :: !live;
+  if not !exit_hook_armed then begin
+    exit_hook_armed := true;
+    (* registered lazily so programs that never build a pool get no hook *)
+    at_exit (fun () ->
+        let ps = Mutex.protect live_lock (fun () -> !live) in
+        List.iter
+          (fun p ->
+            Mutex.lock p.p_lock;
+            p.p_stop <- true;
+            Condition.broadcast p.p_wake;
+            Mutex.unlock p.p_lock;
+            List.iter Domain.join p.p_workers;
+            p.p_workers <- [])
+          ps;
+        Mutex.protect live_lock (fun () -> live := []))
+  end;
+  Mutex.unlock live_lock;
   p
 
 let pool_size p = p.p_size
@@ -246,7 +279,10 @@ let shutdown p =
   Condition.broadcast p.p_wake;
   Mutex.unlock p.p_lock;
   List.iter Domain.join p.p_workers;
-  p.p_workers <- []
+  p.p_workers <- [];
+  unregister p
+
+let live_pools () = Mutex.protect live_lock (fun () -> List.length !live)
 
 let map_pool p f xs =
   let arr = Array.of_list xs in

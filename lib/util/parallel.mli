@@ -77,7 +77,18 @@ val map_pool : pool -> ('a -> 'b) -> 'a list -> 'b list
 
 val shutdown : pool -> unit
 (** Terminate and join the pool's domains.  Subsequent {!map_pool} calls
-    raise [Invalid_argument]; [shutdown] itself is idempotent. *)
+    raise [Invalid_argument]; [shutdown] itself is idempotent.
+
+    Leak safety: a pool that is never shut down does not wedge process
+    exit — every live pool is registered at creation and an [at_exit]
+    hook (armed by the first [pool] call) stops and joins the forgotten
+    workers.  Relying on the hook is still poor hygiene (the domains are
+    held until exit); it exists so a crashed or careless caller cannot
+    hang the daemon's shutdown path. *)
+
+val live_pools : unit -> int
+(** Pools created and not yet shut down — what the exit hook would have
+    to clean.  Diagnostic, used by the teardown tests. *)
 
 val set_monitor : (map_stats -> unit) option -> unit
 (** Install (or clear) the telemetry callback.  With no monitor installed

@@ -1,0 +1,66 @@
+The serve daemon, driven over stdio.  Every frame — well-formed,
+malformed, repeated, expired — gets exactly one structured response.
+elapsed_ms is wall-clock and gets normalized.
+
+  $ norm() { sed -E 's/"elapsed_ms":[0-9.eE+-]+/"elapsed_ms":X/'; }
+
+A pipelined session: ping, garbage, an unknown op, a schedule request,
+the same request again (served from cache, byte-identical result), and
+a request whose budget is already expired:
+
+  $ printf '%s\n' \
+  >   '{"op":"ping","id":1}' \
+  >   'garbage' \
+  >   '{"op":"nope","id":2}' \
+  >   '{"op":"schedule","id":3,"params":{"seed":2,"tasks":10,"m":4,"epsilon":1}}' \
+  >   '{"op":"schedule","id":3,"params":{"seed":2,"tasks":10,"m":4,"epsilon":1}}' \
+  >   '{"op":"schedule","id":4,"deadline_ms":0,"params":{"tasks":8,"m":3}}' \
+  > | ftsched serve 2>/dev/null | norm
+  {"v":1,"id":1,"ok":true,"op":"ping","cached":false,"elapsed_ms":X,"result":{"pong":true,"version":1,"ops":["schedule","replay","montecarlo","analyze","ping","stats","shutdown"]}}
+  {"v":1,"id":null,"ok":false,"error":{"class":"bad_request","message":"malformed JSON: JSON parse error at byte 0: unexpected character 'g'"}}
+  {"v":1,"id":2,"ok":false,"error":{"class":"bad_request","message":"unknown op \"nope\" (accepted: schedule, replay, montecarlo, analyze, ping, stats, shutdown)"}}
+  {"v":1,"id":3,"ok":true,"op":"schedule","cached":false,"elapsed_ms":X,"result":{"algorithm":"CAFT","tasks":10,"procs":4,"epsilon":1,"latency_zero_crash":884.755495601,"latency_upper_bound":1011.0918724,"messages":16,"replicas":20,"valid":true}}
+  {"v":1,"id":3,"ok":true,"op":"schedule","cached":true,"elapsed_ms":X,"result":{"algorithm":"CAFT","tasks":10,"procs":4,"epsilon":1,"latency_zero_crash":884.755495601,"latency_upper_bound":1011.0918724,"messages":16,"replicas":20,"valid":true}}
+  {"v":1,"id":4,"ok":false,"error":{"class":"deadline_exceeded","message":"budget of 0 ms is already expired"}}
+
+Warm restart: journal one result, "crash" (the daemon exits after one
+request via --max-requests), restart with --resume — the result is
+served from cache, byte-identical:
+
+  $ printf '%s\n' '{"op":"schedule","id":1,"params":{"seed":2,"tasks":10,"m":4,"epsilon":1}}' \
+  > | ftsched serve --cache j.db --max-requests 1 2>/dev/null | norm > first.out
+  $ wc -l < j.db
+  1
+  $ printf '%s\n' '{"op":"schedule","id":1,"params":{"seed":2,"tasks":10,"m":4,"epsilon":1}}' \
+  > | ftsched serve --cache j.db --resume --max-requests 1 2>/dev/null | norm > second.out
+  $ sed 's/"cached":false/"cached":_/' first.out > first.norm
+  $ sed 's/"cached":true/"cached":_/' second.out > second.norm
+  $ diff first.norm second.norm
+  $ grep -c '"cached":true' second.out
+  1
+
+Starting over on an existing journal is refused (data-loss footgun),
+and --resume without --cache makes no sense:
+
+  $ ftsched serve --cache j.db < /dev/null
+  ftsched: error: cache journal j.db already exists: pass --resume to warm-restart from it, or remove it to start fresh
+  [2]
+  $ ftsched serve --resume < /dev/null
+  ftsched: error: --resume needs --cache FILE to restart from
+  [2]
+
+The self-fault-injection harness: hostile frames, bursts past queue
+capacity, duplicate requests — zero contract violations:
+
+  $ ftsched serve --self-test --seed 42 --frames 150 2>/dev/null
+  fault injection: 171 frames, 124 ok (21 cached), 47 errors (12 shed), 0 violations
+
+Bad generator input is a usage error (exit 2), not a crash — same
+funnel the daemon uses:
+
+  $ ftsched schedule --seed 2 --tasks 10 -m 4 --family nope
+  ftsched: error: unknown graph family "nope" (expected one of: random, fork, join, chain, out-tree, fork-join, stencil, gauss, butterfly, cholesky, staged, pipelines)
+  [2]
+  $ ftsched topology -m 8 --shape blob
+  ftsched: error: unknown topology shape "blob" (accepted: ring, star, clique, mesh-RxC, torus-RxC, hypercube-D)
+  [2]

@@ -248,11 +248,79 @@ let test_campaign_checkpoint_resume () =
       Helpers.check_int "other seed recomputed" 3
         (List.length other.Campaign.points))
 
+(* A corrupt checkpoint (not valid JSON — which atomic saves never
+   produce, so it means outside interference) must stop the run with a
+   clear error instead of silently restarting the sweep and then dying
+   mid-write over the completed points. *)
+let test_campaign_checkpoint_corrupt () =
+  let config =
+    Config.with_graphs_per_point
+      { (Config.figure 1) with Config.granularities = [ 0.5 ] }
+      1
+  in
+  let seed = 5 in
+  let path = Filename.temp_file "ftsched_ckpt" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".tmp" ])
+    (fun () ->
+      (* temp_file's empty file counts as absent, not corrupt *)
+      ignore (Campaign.run ~seed ~progress:ignore ~checkpoint:path config);
+      let intact =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (* truncate the file mid-structure, as a non-atomic writer's crash
+         would have: the braces never close, the JSON never parses *)
+      let oc = open_out path in
+      output_string oc (String.sub intact 0 (String.length intact / 2));
+      close_out oc;
+      (match Campaign.run ~seed ~progress:ignore ~checkpoint:path config with
+      | _ -> Alcotest.fail "corrupt checkpoint was silently accepted"
+      | exception Campaign.Checkpoint_error msg ->
+          Helpers.check_bool "names the file" true
+            (let nn = String.length path and nh = String.length msg in
+             let rec go i =
+               i + nn <= nh && (String.sub msg i nn = path || go (i + 1))
+             in
+             go 0));
+      (* pure garbage fails the same way *)
+      let oc = open_out path in
+      output_string oc "\x00\x01 not json at all";
+      close_out oc;
+      (match Campaign.run ~seed ~progress:ignore ~checkpoint:path config with
+      | _ -> Alcotest.fail "garbage checkpoint was silently accepted"
+      | exception Campaign.Checkpoint_error _ -> ());
+      (* the real crash footprint — an orphaned .tmp beside an intact
+         checkpoint — resumes cleanly (saves are temp + rename) *)
+      let oc = open_out path in
+      output_string oc intact;
+      close_out oc;
+      let oc = open_out (path ^ ".tmp") in
+      output_string oc "{ torn mid-wri";
+      close_out oc;
+      let restored = ref 0 in
+      let watch msg =
+        if
+          String.length msg >= 10
+          && String.sub msg (String.length msg - 10) 10 = "checkpoint"
+        then incr restored
+      in
+      let r = Campaign.run ~seed ~progress:watch ~checkpoint:path config in
+      Helpers.check_int "point restored despite orphan .tmp" 1 !restored;
+      Helpers.check_int "one point" 1 (List.length r.Campaign.points))
+
 let suite =
   [
     Alcotest.test_case "gnuplot script" `Slow test_gnuplot_script;
     Alcotest.test_case "campaign checkpoint resume" `Slow
       test_campaign_checkpoint_resume;
+    Alcotest.test_case "campaign checkpoint corruption" `Slow
+      test_campaign_checkpoint_corrupt;
     Alcotest.test_case "parallel map" `Quick test_parallel_map;
     Alcotest.test_case "parallel campaign identical" `Slow
       test_parallel_campaign_identical;

@@ -110,6 +110,27 @@ let test_monitor_stats () =
                 s.Parallel.ms_workers
           | l -> Alcotest.failf "expected 1 stats report, got %d" (List.length l)))
 
+let test_live_registry () =
+  let before = Parallel.live_pools () in
+  let p1 = Parallel.pool ~domains:2 () in
+  let p2 = Parallel.pool ~domains:2 () in
+  Helpers.check_int "two live pools" (before + 2) (Parallel.live_pools ());
+  Parallel.shutdown p1;
+  Helpers.check_int "one live pool" (before + 1) (Parallel.live_pools ());
+  Parallel.shutdown p2;
+  Parallel.shutdown p2 (* idempotent unregistration *);
+  Helpers.check_int "all unregistered" before (Parallel.live_pools ())
+
+let test_leaked_pool () =
+  (* Deliberately leak a pool: the at_exit hook must stop and join its
+     workers so the test binary still terminates.  The assertion that
+     matters is implicit — if the hook is broken, this whole suite hangs
+     at process exit instead of finishing. *)
+  let pool = Parallel.pool ~domains:2 () in
+  Helpers.check_bool "leaked pool still works" true
+    (Parallel.map_pool pool Fun.id [ 1; 2 ] = [ 1; 2 ]);
+  Helpers.check_bool "leaked pool is registered" true (Parallel.live_pools () >= 1)
+
 let suite =
   [
     Alcotest.test_case "result ordering" `Quick test_ordering;
@@ -119,4 +140,6 @@ let suite =
     Alcotest.test_case "reentrancy rejected" `Quick test_reentrancy_rejected;
     Alcotest.test_case "shutdown" `Quick test_shutdown;
     Alcotest.test_case "monitor telemetry" `Quick test_monitor_stats;
+    Alcotest.test_case "live-pool registry" `Quick test_live_registry;
+    Alcotest.test_case "leaked pool joined at exit" `Quick test_leaked_pool;
   ]

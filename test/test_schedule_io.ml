@@ -1,0 +1,124 @@
+(* Robustness of the schedule text format against damaged input:
+   truncation (a copy interrupted, a disk filled), corrupt directives,
+   and — the case the streaming writer makes likely — a daemon or CLI
+   killed mid-[--stream], leaving a file without its [end] terminator.
+   Every failure must carry the offending line number so the user can
+   look straight at the damage; none may be accepted silently. *)
+
+let small_schedule () =
+  let _, costs = Helpers.random_instance ~seed:4 ~m:3 ~tasks:10 () in
+  Caft.run ~epsilon:1 costs
+
+let expect_parse_error ?line text name =
+  match Schedule_io.of_string text with
+  | _ -> Alcotest.failf "%s: damaged input was accepted" name
+  | exception Schedule_io.Parse_error { line = l; message } -> (
+      match line with
+      | None -> ()
+      | Some want ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: error line (%s)" name message)
+            want l)
+
+let test_roundtrip () =
+  let sched = small_schedule () in
+  let text = Schedule_io.to_string sched in
+  let reparsed = Schedule_io.of_string text in
+  Alcotest.(check string)
+    "serialize(parse(serialize)) is a fixed point" text
+    (Schedule_io.to_string reparsed)
+
+let test_truncated () =
+  let sched = small_schedule () in
+  let text = Schedule_io.to_string sched in
+  let lines = String.split_on_char '\n' text in
+  let lines = List.filter (fun l -> l <> "") lines in
+  let total = List.length lines in
+  (* drop the [end] terminator: the error points past the last line
+     (the trailing newline counts as the final, empty line) *)
+  let without_end =
+    String.concat "\n" (List.filteri (fun i _ -> i < total - 1) lines) ^ "\n"
+  in
+  expect_parse_error ~line:total without_end "missing end";
+  (* cut the file mid-body: still a parse error, never a silent partial *)
+  let half =
+    String.concat "\n" (List.filteri (fun i _ -> i < total / 2) lines) ^ "\n"
+  in
+  expect_parse_error half "truncated at half";
+  (* empty and header-only inputs *)
+  expect_parse_error "" "empty input";
+  expect_parse_error "ftsched-schedule v1\n" "header only";
+  expect_parse_error "not a schedule\n" "wrong magic"
+
+let test_corrupt_directive () =
+  let sched = small_schedule () in
+  let text = Schedule_io.to_string sched in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+  in
+  (* replace the 4th line (1-based) with garbage: the reported line
+     number must name exactly that line *)
+  let corrupt_at n repl =
+    String.concat "\n"
+      (List.mapi (fun i l -> if i = n - 1 then repl else l) lines)
+    ^ "\n"
+  in
+  expect_parse_error ~line:4 (corrupt_at 4 "zorble 1 2 3") "unknown directive";
+  (* damage a numeric field on a known line *)
+  let damaged =
+    List.mapi
+      (fun i l ->
+        if i >= 0 && String.length l > 5 && String.sub l 0 5 = "cost " then
+          Some (i + 1, corrupt_at (i + 1) "cost 0 0 banana")
+        else None)
+      lines
+    |> List.filter_map Fun.id
+  in
+  match damaged with
+  | (lineno, text) :: _ -> expect_parse_error ~line:lineno text "bad number"
+  | [] -> Alcotest.fail "schedule text had no cost line to damage"
+
+let test_partial_stream_detected () =
+  (* a --stream writer killed before [stream_close]: the file on disk
+     has the header and some replicas but no [end]; of_file must refuse
+     it rather than return a schedule missing tasks *)
+  let sched = small_schedule () in
+  let path = Filename.temp_file "ftsched_stream" ".fts" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let w =
+        Schedule_io.stream_writer
+          ~insertion:(Schedule.insertion sched)
+          ~algorithm:(Schedule.algorithm sched)
+          ~epsilon:(Schedule.epsilon sched) ~model:(Schedule.model sched) ~path
+          (Schedule.costs sched)
+      in
+      (* stream only the first replica, then "die" without stream_close *)
+      (match Schedule.all_replicas sched with
+      | r :: _ -> Schedule_io.stream_replica w r
+      | [] -> Alcotest.fail "schedule has no replicas");
+      (match Schedule_io.of_file path with
+      | _ -> Alcotest.fail "partially-streamed file was accepted"
+      | exception Schedule_io.Parse_error _ -> ());
+      (* closing and finishing the stream makes the same file parse *)
+      List.iter (Schedule_io.stream_replica w)
+        (match Schedule.all_replicas sched with [] -> [] | _ :: tl -> tl);
+      Schedule_io.stream_close w;
+      Schedule_io.stream_close w (* idempotent *);
+      let reparsed = Schedule_io.of_file path in
+      Alcotest.(check string)
+        "completed stream parses to the same bytes"
+        (Schedule_io.to_string sched)
+        (Schedule_io.to_string reparsed))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip fixed point" `Quick test_roundtrip;
+    Alcotest.test_case "truncated input rejected with line" `Quick
+      test_truncated;
+    Alcotest.test_case "corrupt directive names its line" `Quick
+      test_corrupt_directive;
+    Alcotest.test_case "partial --stream output detected" `Quick
+      test_partial_stream_detected;
+  ]
